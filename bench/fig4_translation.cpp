@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Figure 4: the impact of disabling byte translation on
+ * trace 470 (lbm-like streaming), at a large set count.
+ *
+ * Paper setting: 256k sets, associativity sweep. Without translations
+ * every imitated interval replays the *same* addresses as its source
+ * chunk, so the apparent footprint collapses and "the cache size that
+ * is necessary to remove capacity misses looks twice smaller than it
+ * is in reality".
+ */
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "cache/stack_sim.hpp"
+
+int
+main()
+{
+    using namespace atc;
+    using namespace atc::bench;
+
+    const size_t len = scaledLen(2'000'000);
+    const uint64_t interval = len / 100;
+    const uint32_t sets = 4096; // scaled from the paper's 256k
+    const uint32_t assocs[] = {1, 2, 4, 8, 16, 32};
+
+    auto trace = trace::collectFilteredTrace(
+        trace::benchmarkByName("470.lbm"), len, 1);
+
+    core::MemoryStore with_store, without_store;
+    lossyCompress(trace, with_store, interval, /*translate=*/true);
+    lossyCompress(trace, without_store, interval, /*translate=*/false);
+    auto with_trans = regenerate(with_store);
+    auto without_trans = regenerate(without_store);
+
+    cache::StackSimulator exact(sets, 32), with_sim(sets, 32),
+        without_sim(sets, 32);
+    for (uint64_t a : trace)
+        exact.access(a);
+    for (uint64_t a : with_trans)
+        with_sim.access(a);
+    for (uint64_t a : without_trans)
+        without_sim.access(a);
+
+    std::printf("Figure 4 — trace 470, %u sets (paper: 256k sets, 1G "
+                "trace): miss ratio vs associativity\n",
+                sets);
+    std::printf("%6s %10s %14s %16s\n", "assoc", "exact", "translation",
+                "no translation");
+    for (uint32_t a : assocs) {
+        std::printf("%6u %10.4f %14.4f %16.4f\n", a, exact.missRatio(a),
+                    with_sim.missRatio(a), without_sim.missRatio(a));
+    }
+
+    // Footprint collapse diagnostic (the mechanism behind the figure).
+    auto unique_count = [](const std::vector<uint64_t> &t) {
+        std::vector<uint64_t> s(t);
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+        return s.size();
+    };
+    std::printf("\nunique blocks: exact %zu, with translation %zu, "
+                "without translation %zu\n",
+                unique_count(trace), unique_count(with_trans),
+                unique_count(without_trans));
+    std::printf("Shape check: without translation the working set "
+                "collapses, so its miss curve drops to zero at a much "
+                "smaller cache than the exact trace's.\n");
+    return 0;
+}

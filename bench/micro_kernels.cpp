@@ -1,0 +1,181 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the computational kernels:
+ * SA-IS/BWT, MTF, Huffman, bytesort, the cache filter and the stack
+ * simulator. These are the knobs behind Table 2's throughput numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "atc/bytesort.hpp"
+#include "cache/filter.hpp"
+#include "cache/stack_sim.hpp"
+#include "compress/bwt.hpp"
+#include "compress/huffman.hpp"
+#include "compress/mtf.hpp"
+#include "compress/stream.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace atc;
+
+std::vector<uint8_t>
+textLike(size_t n)
+{
+    util::Rng rng(1);
+    std::vector<uint8_t> data(n);
+    for (auto &b : data)
+        b = static_cast<uint8_t>('a' + rng.below(26));
+    return data;
+}
+
+std::vector<uint64_t>
+addressLike(size_t n)
+{
+    util::Rng rng(2);
+    std::vector<uint64_t> addrs(n);
+    uint64_t base = 0x10000000;
+    for (auto &a : addrs) {
+        if (rng.below(8) == 0)
+            base = 0x10000000 + (rng.below(16) << 26);
+        a = base + rng.below(1 << 18);
+    }
+    return addrs;
+}
+
+void
+BM_BwtForward(benchmark::State &state)
+{
+    auto data = textLike(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto r = comp::bwtForward(data.data(), data.size());
+        benchmark::DoNotOptimize(r.data.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_BwtForward)->Arg(64 << 10)->Arg(1 << 20);
+
+void
+BM_BwtInverse(benchmark::State &state)
+{
+    auto data = textLike(static_cast<size_t>(state.range(0)));
+    auto r = comp::bwtForward(data.data(), data.size());
+    for (auto _ : state) {
+        auto inv = comp::bwtInverse(r.data.data(), r.data.size(),
+                                    r.primary);
+        benchmark::DoNotOptimize(inv.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_BwtInverse)->Arg(64 << 10)->Arg(1 << 20);
+
+void
+BM_MtfEncode(benchmark::State &state)
+{
+    auto data = textLike(1 << 20);
+    for (auto _ : state) {
+        auto enc = comp::mtfEncode(data.data(), data.size());
+        benchmark::DoNotOptimize(enc.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_MtfEncode);
+
+void
+BM_BwcCompress(benchmark::State &state)
+{
+    auto data = textLike(1 << 20);
+    const auto &codec = comp::codecByName("bwc");
+    for (auto _ : state) {
+        auto c = comp::compressAll(codec, data.data(), data.size());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_BwcCompress);
+
+void
+BM_BwcDecompress(benchmark::State &state)
+{
+    auto data = textLike(1 << 20);
+    const auto &codec = comp::codecByName("bwc");
+    auto c = comp::compressAll(codec, data.data(), data.size());
+    for (auto _ : state) {
+        auto d = comp::decompressAll(codec, c.data(), c.size());
+        benchmark::DoNotOptimize(d.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_BwcDecompress);
+
+void
+BM_LzhCompress(benchmark::State &state)
+{
+    auto data = textLike(1 << 20);
+    const auto &codec = comp::codecByName("lzh");
+    for (auto _ : state) {
+        auto c = comp::compressAll(codec, data.data(), data.size());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzhCompress);
+
+void
+BM_BytesortForward(benchmark::State &state)
+{
+    auto addrs = addressLike(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto planes = core::bytesortForward(addrs.data(), addrs.size());
+        benchmark::DoNotOptimize(planes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_BytesortForward)->Arg(100'000)->Arg(1'000'000);
+
+void
+BM_BytesortInverse(benchmark::State &state)
+{
+    auto addrs = addressLike(static_cast<size_t>(state.range(0)));
+    auto planes = core::bytesortForward(addrs.data(), addrs.size());
+    for (auto _ : state) {
+        auto back = core::bytesortInverse(planes.data(), addrs.size());
+        benchmark::DoNotOptimize(back.data());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_BytesortInverse)->Arg(100'000)->Arg(1'000'000);
+
+void
+BM_CacheFilter(benchmark::State &state)
+{
+    auto addrs = addressLike(1 << 20);
+    for (auto _ : state) {
+        cache::CacheFilter filter;
+        uint64_t emitted = 0;
+        for (uint64_t a : addrs)
+            emitted += filter.access(a, false).has_value();
+        benchmark::DoNotOptimize(emitted);
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_CacheFilter);
+
+void
+BM_StackSimulator(benchmark::State &state)
+{
+    auto addrs = addressLike(1 << 20);
+    for (auto _ : state) {
+        cache::StackSimulator sim(1024, 32);
+        for (uint64_t a : addrs)
+            sim.access(a >> 6);
+        benchmark::DoNotOptimize(sim.missCount(8));
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_StackSimulator);
+
+} // namespace
+
+BENCHMARK_MAIN();

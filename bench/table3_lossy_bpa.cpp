@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Table 3: bits per address for lossless (bytesort) vs
+ * lossy compression on longer traces.
+ *
+ * Paper setting: 1G-address traces, interval L = 10M (100 intervals
+ * per trace), epsilon = 0.1, chunks compressed with bytesort B = 1M.
+ * We keep the proportions: trace length 2M by default, L = len/100.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace atc;
+    using namespace atc::bench;
+
+    const size_t len = scaledLen(2'000'000);
+    const uint64_t interval = len / 100;
+
+    std::printf("Table 3 — lossless vs lossy BPA "
+                "(%zu-address traces, L = %llu, eps = 0.1; paper: 1G "
+                "traces, L = 10M)\n",
+                len, static_cast<unsigned long long>(interval));
+    std::printf("%-16s | %22s | %22s | %s\n", "trace",
+                "lossless (meas/paper)", "lossy (meas/paper)",
+                "chunks/intervals");
+
+    double sum_lossless = 0, sum_lossy = 0;
+    double psum_lossless = 0, psum_lossy = 0;
+    int n = 0;
+    for (const Table3Ref &ref : table3Reference()) {
+        auto trace = trace::collectFilteredTrace(
+            trace::benchmarkByName(ref.name), len, 1);
+        double lossless =
+            transformBpa(trace, core::Transform::Bytesort, interval);
+
+        core::MemoryStore store;
+        LossyRun lossy = lossyCompress(trace, store, interval);
+
+        std::printf("%-16s | %10.3f /%9.2f | %10.3f /%9.2f | %llu/%llu\n",
+                    ref.name, lossless, ref.lossless, lossy.bpa,
+                    ref.lossy,
+                    static_cast<unsigned long long>(
+                        lossy.stats.chunks_created),
+                    static_cast<unsigned long long>(lossy.stats.intervals));
+        std::fflush(stdout);
+        sum_lossless += lossless;
+        sum_lossy += lossy.bpa;
+        psum_lossless += ref.lossless;
+        psum_lossy += ref.lossy;
+        ++n;
+    }
+    std::printf("%-16s | %10.3f /%9.2f | %10.3f /%9.2f |\n", "arith. mean",
+                sum_lossless / n, psum_lossless / n, sum_lossy / n,
+                psum_lossy / n);
+    std::printf("\nShape check: lossy wins broadly; the gain is small on "
+                "unstable traces (403.gcc, 447.dealII) and large on "
+                "stationary random traces (429/458), as in the paper.\n");
+    std::printf("(§6 whole-run claim: with longer traces the ratio keeps "
+                "improving as chunks are reused; rerun with "
+                "ATC_BENCH_SCALE=4 to observe the trend.)\n");
+    return 0;
+}

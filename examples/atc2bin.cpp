@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CLI mirroring the paper's Figure 7: read an ATC-compressed directory
+ * and write the (regenerated) trace as raw 64-bit values on standard
+ * output.
+ *
+ * Usage: atc2bin <dirname>
+ *
+ * Example (paper Figure 8):
+ *   atc2bin foobar | wc -c
+ */
+
+#include <cstdio>
+
+#include "atc/atc.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace atc;
+
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <dirname>\n", argv[0]);
+        return 2;
+    }
+
+    try {
+        core::AtcReader reader(argv[1]);
+        uint64_t x;
+        while (reader.decode(&x)) {
+            if (std::fwrite(&x, sizeof(x), 1, stdout) != 1) {
+                std::fprintf(stderr, "write error\n");
+                return 1;
+            }
+        }
+    } catch (const util::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CLI mirroring the paper's Figure 6: read raw 64-bit values from
+ * standard input and write an ATC-compressed directory.
+ *
+ * Usage: bin2atc <dirname> [c|k]
+ *   c  lossless compression
+ *   k  lossy compression (default, as in the paper's example)
+ *
+ * Example (paper Figure 8):
+ *   cat /dev/urandom | head -c 800000000 | bin2atc foobar
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "atc/atc.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace atc;
+
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <dirname> [c|k]\n", argv[0]);
+        return 2;
+    }
+    const char mode = argc > 2 ? argv[2][0] : 'k';
+    if (mode != 'c' && mode != 'k') {
+        std::fprintf(stderr, "mode must be 'c' (lossless) or 'k' "
+                             "(lossy)\n");
+        return 2;
+    }
+
+    core::AtcOptions options;
+    options.mode = mode == 'k' ? core::Mode::Lossy : core::Mode::Lossless;
+
+    try {
+        core::AtcWriter writer(argv[1], options);
+        uint64_t x;
+        while (std::fread(&x, sizeof(x), 1, stdin) == 1)
+            writer.code(x);
+        writer.close();
+        std::fprintf(stderr, "%llu values compressed into %s\n",
+                     static_cast<unsigned long long>(writer.count()),
+                     argv[1]);
+    } catch (const util::Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

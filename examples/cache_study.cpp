@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cache-design study on a lossy-compressed trace (the paper's §5.3
+ * use case): compare LRU miss ratios of the exact and the regenerated
+ * trace across a grid of cache geometries, using the single-pass
+ * stack-distance simulator.
+ *
+ * Usage: cache_study [benchmark] [addresses]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "atc/atc.hpp"
+#include "cache/opt_sim.hpp"
+#include "cache/stack_sim.hpp"
+#include "trace/suite.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace atc;
+
+    std::string name = argc > 1 ? argv[1] : "470.lbm";
+    size_t count = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                            : 2'000'000;
+
+    auto addrs = trace::collectFilteredTrace(trace::benchmarkByName(name),
+                                             count, 1);
+
+    // Lossy-compress and regenerate.
+    core::MemoryStore store;
+    core::AtcOptions opt;
+    opt.mode = core::Mode::Lossy;
+    opt.lossy.interval_len = count / 100;
+    opt.pipeline.buffer_addrs = count / 100;
+    {
+        core::AtcWriter writer(store, opt);
+        for (uint64_t a : addrs)
+            writer.code(a);
+        writer.close();
+    }
+    std::vector<uint64_t> approx;
+    approx.reserve(count);
+    {
+        core::AtcReader reader(store);
+        uint64_t v;
+        while (reader.decode(&v))
+            approx.push_back(v);
+    }
+    std::printf("%s: %zu addresses, lossy size %llu bytes "
+                "(%.3f bits/address)\n\n",
+                name.c_str(), addrs.size(),
+                static_cast<unsigned long long>(store.totalBytes()),
+                8.0 * store.totalBytes() / addrs.size());
+
+    // Miss-ratio grid: one stack-simulator pass per set count yields
+    // every LRU associativity at once (Cheetah's trick); the OPT
+    // column (Belady/MIN) bounds how much of each miss curve is
+    // replacement-policy artefact.
+    const uint32_t max_ways = 32;
+    std::printf("%6s %5s | %10s %10s %10s | %10s\n", "sets", "ways",
+                "exact LRU", "lossy LRU", "delta", "exact OPT");
+    for (uint32_t sets : {256u, 1024u, 4096u}) {
+        cache::StackSimulator exact(sets, max_ways);
+        cache::StackSimulator lossy(sets, max_ways);
+        for (uint64_t a : addrs)
+            exact.access(a);
+        for (uint64_t a : approx)
+            lossy.access(a);
+        for (uint32_t ways : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            double e = exact.missRatio(ways);
+            double l = lossy.missRatio(ways);
+            double o = cache::simulateOpt(addrs, sets, ways).missRatio();
+            std::printf("%6u %5u | %10.4f %10.4f %+10.4f | %10.4f\n",
+                        sets, ways, e, l, l - e, o);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

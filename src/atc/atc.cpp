@@ -1,0 +1,251 @@
+#include "atc/atc.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/status.hpp"
+
+namespace atc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'T', 'C', 'T'};
+constexpr uint8_t kVersion = 1;
+
+void
+writeString(util::ByteSink &sink, const std::string &s)
+{
+    ATC_ASSERT(s.size() < 256);
+    sink.writeByte(static_cast<uint8_t>(s.size()));
+    sink.write(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+std::string
+readString(util::ByteSource &src)
+{
+    uint8_t len;
+    src.readExact(&len, 1);
+    std::string s(len, '\0');
+    src.readExact(reinterpret_cast<uint8_t *>(s.data()), len);
+    return s;
+}
+
+void
+writeRecord(util::ByteSink &sink, const IntervalRecord &rec)
+{
+    sink.writeByte(static_cast<uint8_t>(rec.kind));
+    util::writeVarint(sink, rec.chunk_id);
+    util::writeVarint(sink, rec.length);
+    if (rec.kind == IntervalRecord::Kind::Imitate) {
+        sink.writeByte(rec.trans.plane_mask);
+        for (int j = 0; j < 8; ++j) {
+            if (rec.trans.plane_mask & (1u << j))
+                sink.write(rec.trans.t[j].data(), 256);
+        }
+    }
+}
+
+IntervalRecord
+readRecord(util::ByteSource &src)
+{
+    IntervalRecord rec;
+    uint8_t kind;
+    src.readExact(&kind, 1);
+    ATC_CHECK(kind <= 1, "corrupt interval record");
+    rec.kind = static_cast<IntervalRecord::Kind>(kind);
+    rec.chunk_id = static_cast<uint32_t>(util::readVarint(src));
+    rec.length = util::readVarint(src);
+    if (rec.kind == IntervalRecord::Kind::Imitate) {
+        src.readExact(&rec.trans.plane_mask, 1);
+        for (int j = 0; j < 8; ++j) {
+            if (rec.trans.plane_mask & (1u << j))
+                src.readExact(rec.trans.t[j].data(), 256);
+        }
+    }
+    return rec;
+}
+
+} // namespace
+
+AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
+    : store_(&store), options_(options)
+{
+    options_.lossy.chunk_params = options_.pipeline;
+    if (options_.mode == Mode::Lossless) {
+        chunk_sink_ = store_->createChunk(0);
+        lossless_ = std::make_unique<LosslessWriter>(options_.pipeline,
+                                                     *chunk_sink_);
+    } else {
+        lossy_ = std::make_unique<LossyEncoder>(options_.lossy, *store_);
+    }
+}
+
+AtcWriter::AtcWriter(const std::string &dir, const AtcOptions &options)
+    : owned_store_(
+          std::make_unique<DirectoryStore>(dir, options.pipeline.codec)),
+      store_(owned_store_.get()), options_(options)
+{
+    options_.lossy.chunk_params = options_.pipeline;
+    if (options_.mode == Mode::Lossless) {
+        chunk_sink_ = store_->createChunk(0);
+        lossless_ = std::make_unique<LosslessWriter>(options_.pipeline,
+                                                     *chunk_sink_);
+    } else {
+        lossy_ = std::make_unique<LossyEncoder>(options_.lossy, *store_);
+    }
+}
+
+AtcWriter::~AtcWriter() = default;
+
+void
+AtcWriter::code(uint64_t value)
+{
+    ATC_ASSERT(!closed_);
+    if (lossless_)
+        lossless_->code(value);
+    else
+        lossy_->code(value);
+    ++count_;
+}
+
+const LossyStats &
+AtcWriter::lossyStats() const
+{
+    ATC_CHECK(lossy_ != nullptr, "lossyStats requires lossy mode");
+    return lossy_->stats();
+}
+
+void
+AtcWriter::writeInfo()
+{
+    auto info = store_->createInfo();
+
+    // Uncompressed preamble.
+    info->write(reinterpret_cast<const uint8_t *>(kMagic), 4);
+    info->writeByte(kVersion);
+    info->writeByte(static_cast<uint8_t>(options_.mode));
+    writeString(*info, options_.pipeline.codec);
+
+    // Compressed payload.
+    comp::StreamCompressor payload(
+        comp::codecByName(options_.pipeline.codec), *info,
+        options_.pipeline.codec_block);
+    // The mode is echoed inside the CRC-protected payload so that a
+    // corrupted preamble cannot silently reinterpret the container.
+    payload.writeByte(static_cast<uint8_t>(options_.mode));
+    payload.writeByte(static_cast<uint8_t>(options_.pipeline.transform));
+    util::writeVarint(payload, options_.pipeline.buffer_addrs);
+    util::writeVarint(payload, count_);
+    if (options_.mode == Mode::Lossy) {
+        util::writeVarint(payload, options_.lossy.interval_len);
+        util::writeLE<uint64_t>(payload,
+                                std::bit_cast<uint64_t>(
+                                    options_.lossy.epsilon));
+        util::writeVarint(payload, lossy_->stats().chunks_created);
+        util::writeVarint(payload, lossy_->records().size());
+        for (const IntervalRecord &rec : lossy_->records())
+            writeRecord(payload, rec);
+    }
+    payload.finish();
+    info->flush();
+}
+
+void
+AtcWriter::close()
+{
+    if (closed_)
+        return;
+    if (lossless_) {
+        lossless_->finish();
+        chunk_sink_->flush();
+    } else {
+        lossy_->finish();
+    }
+    writeInfo();
+    closed_ = true;
+}
+
+AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
+    : store_(&store)
+{
+    openContainer(decoder_cache);
+}
+
+AtcReader::AtcReader(const std::string &dir, const std::string &suffix,
+                     size_t decoder_cache)
+    : owned_store_(std::make_unique<DirectoryStore>(dir, suffix)),
+      store_(owned_store_.get())
+{
+    openContainer(decoder_cache);
+}
+
+AtcReader::~AtcReader() = default;
+
+void
+AtcReader::openContainer(size_t decoder_cache)
+{
+    auto info = store_->openInfo();
+
+    char magic[4];
+    info->readExact(reinterpret_cast<uint8_t *>(magic), 4);
+    ATC_CHECK(std::memcmp(magic, kMagic, 4) == 0, "not an ATC container");
+    uint8_t version;
+    info->readExact(&version, 1);
+    ATC_CHECK(version == kVersion, "unsupported ATC container version");
+    uint8_t mode;
+    info->readExact(&mode, 1);
+    ATC_CHECK(mode <= 1, "corrupt ATC container mode");
+    mode_ = static_cast<Mode>(mode);
+    std::string codec = readString(*info);
+
+    comp::StreamDecompressor payload(comp::codecByName(codec), *info);
+    uint8_t mode_echo;
+    payload.readExact(&mode_echo, 1);
+    ATC_CHECK(mode_echo == mode,
+              "ATC container mode mismatch (corrupt preamble)");
+    uint8_t transform;
+    payload.readExact(&transform, 1);
+    ATC_CHECK(transform <= 3, "corrupt ATC transform id");
+
+    LosslessParams pipeline;
+    pipeline.transform = static_cast<Transform>(transform);
+    pipeline.buffer_addrs =
+        static_cast<size_t>(util::readVarint(payload));
+    pipeline.codec = codec;
+    count_ = util::readVarint(payload);
+
+    if (mode_ == Mode::Lossless) {
+        chunk_src_ = store_->openChunk(0);
+        lossless_ = std::make_unique<LosslessReader>(pipeline, *chunk_src_);
+        return;
+    }
+
+    LossyParams params;
+    params.chunk_params = pipeline;
+    params.decoder_cache = decoder_cache;
+    params.interval_len = util::readVarint(payload);
+    params.epsilon =
+        std::bit_cast<double>(util::readLE<uint64_t>(payload));
+    uint64_t chunk_count = util::readVarint(payload);
+    uint64_t record_count = util::readVarint(payload);
+    std::vector<IntervalRecord> records;
+    records.reserve(record_count);
+    for (uint64_t i = 0; i < record_count; ++i) {
+        records.push_back(readRecord(payload));
+        ATC_CHECK(records.back().chunk_id < chunk_count,
+                  "interval record references unknown chunk");
+    }
+    lossy_ = std::make_unique<LossyDecoder>(params, *store_,
+                                            std::move(records));
+}
+
+bool
+AtcReader::decode(uint64_t *out)
+{
+    bool ok = lossless_ ? lossless_->decode(out) : lossy_->decode(out);
+    if (ok)
+        ++delivered_;
+    return ok;
+}
+
+} // namespace atc::core

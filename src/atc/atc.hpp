@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Top-level ATC compressor API (paper §6).
+ *
+ * Mirrors the original C interface: atc_open('c'|'k') + atc_code +
+ * atc_close becomes AtcWriter (Mode::Lossless | Mode::Lossy); atc_open
+ * ('d') + atc_decode becomes AtcReader, which auto-detects the mode
+ * from the INFO stream. Traces live in a ChunkStore — typically a
+ * directory of `<n>.<suffix>` chunk files plus `INFO.<suffix>`,
+ * exactly like the original tool's output (Figure 8).
+ *
+ * INFO layout: an uncompressed preamble (magic, version, mode, codec
+ * name) followed by a codec-compressed payload holding the pipeline
+ * parameters, the address count and — in lossy mode — the interval
+ * trace (chunk/imitate records with byte translations).
+ */
+
+#ifndef ATC_ATC_ATC_HPP_
+#define ATC_ATC_ATC_HPP_
+
+#include <memory>
+#include <string>
+
+#include "atc/container.hpp"
+#include "atc/lossless.hpp"
+#include "atc/lossy.hpp"
+
+namespace atc::core {
+
+/** Compression mode ('c' vs 'k' in the original tool). */
+enum class Mode : uint8_t
+{
+    Lossless = 0,
+    Lossy = 1,
+};
+
+/** Options accepted by AtcWriter. */
+struct AtcOptions
+{
+    Mode mode = Mode::Lossy;
+    /** Transform + codec pipeline: the whole stream in lossless mode,
+     *  each chunk in lossy mode. */
+    LosslessParams pipeline;
+    /** Lossy-mode parameters (chunk_params is overridden by pipeline). */
+    LossyParams lossy;
+};
+
+/** Compressing side of the ATC container. */
+class AtcWriter
+{
+  public:
+    /**
+     * Write into an existing store.
+     * @param store destination; must outlive the writer
+     * @param options mode and parameters
+     */
+    AtcWriter(ChunkStore &store, const AtcOptions &options);
+
+    /**
+     * Write into a directory (created if needed), using the codec name
+     * as the file suffix — the original tool's layout.
+     */
+    AtcWriter(const std::string &dir, const AtcOptions &options);
+
+    ~AtcWriter();
+
+    AtcWriter(const AtcWriter &) = delete;
+    AtcWriter &operator=(const AtcWriter &) = delete;
+
+    /** Compress one 64-bit value (atc_code). */
+    void code(uint64_t value);
+
+    /** Finalize the container, writing INFO (atc_close). */
+    void close();
+
+    /** @return values coded so far. */
+    uint64_t count() const { return count_; }
+
+    /** @return lossy counters; valid after close() in lossy mode. */
+    const LossyStats &lossyStats() const;
+
+  private:
+    void writeInfo();
+
+    std::unique_ptr<ChunkStore> owned_store_;
+    ChunkStore *store_;
+    AtcOptions options_;
+    uint64_t count_ = 0;
+    bool closed_ = false;
+
+    // Lossless mode state.
+    std::unique_ptr<util::ByteSink> chunk_sink_;
+    std::unique_ptr<LosslessWriter> lossless_;
+
+    // Lossy mode state.
+    std::unique_ptr<LossyEncoder> lossy_;
+};
+
+/** Decompressing side; mode is auto-detected from INFO. */
+class AtcReader
+{
+  public:
+    /**
+     * Read from an existing store.
+     * @param store source; must outlive the reader
+     * @param decoder_cache decompressed chunks cached in lossy mode
+     */
+    explicit AtcReader(ChunkStore &store, size_t decoder_cache = 8);
+
+    /**
+     * Read from a directory container.
+     * @param dir    directory written by AtcWriter
+     * @param suffix chunk-file suffix (the codec name by default)
+     */
+    explicit AtcReader(const std::string &dir,
+                       const std::string &suffix = "bwc",
+                       size_t decoder_cache = 8);
+
+    ~AtcReader();
+
+    AtcReader(const AtcReader &) = delete;
+    AtcReader &operator=(const AtcReader &) = delete;
+
+    /**
+     * Decompress the next value (atc_decode).
+     * @return false at end of trace
+     */
+    bool decode(uint64_t *out);
+
+    /** @return the container's compression mode. */
+    Mode mode() const { return mode_; }
+
+    /** @return total values in the trace, from INFO. */
+    uint64_t count() const { return count_; }
+
+  private:
+    void openContainer(size_t decoder_cache);
+
+    std::unique_ptr<ChunkStore> owned_store_;
+    ChunkStore *store_;
+    Mode mode_ = Mode::Lossless;
+    uint64_t count_ = 0;
+    uint64_t delivered_ = 0;
+
+    // Keep the INFO/chunk sources alive while streaming.
+    std::unique_ptr<util::ByteSource> chunk_src_;
+    std::unique_ptr<LosslessReader> lossless_;
+    std::unique_ptr<LossyDecoder> lossy_;
+};
+
+} // namespace atc::core
+
+#endif // ATC_ATC_ATC_HPP_

@@ -1,0 +1,92 @@
+#include "atc/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/status.hpp"
+
+namespace atc::core {
+
+IntervalHistograms
+computeHistograms(const uint64_t *addrs, size_t n)
+{
+    IntervalHistograms out;
+    out.len = n;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t a = addrs[i];
+        for (int j = 0; j < 8; ++j)
+            out.h[j][(a >> (8 * j)) & 0xFF]++;
+    }
+    return out;
+}
+
+BytePermutation
+sortPermutation(const ByteHistogram &h)
+{
+    std::array<uint16_t, 256> order;
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint16_t a, uint16_t b) { return h[a] > h[b]; });
+    BytePermutation p;
+    for (int i = 0; i < 256; ++i)
+        p[i] = static_cast<uint8_t>(order[i]);
+    return p;
+}
+
+double
+histogramDistance(const ByteHistogram &a, uint64_t la,
+                  const ByteHistogram &b, uint64_t lb)
+{
+    ATC_ASSERT(la > 0 && lb > 0);
+    double d = 0.0;
+    for (int i = 0; i < 256; ++i) {
+        d += std::abs(static_cast<double>(a[i]) / la -
+                      static_cast<double>(b[i]) / lb);
+    }
+    return d;
+}
+
+IntervalSignature
+IntervalSignature::from(IntervalHistograms hist)
+{
+    IntervalSignature sig;
+    sig.hist = std::move(hist);
+    for (int j = 0; j < 8; ++j) {
+        sig.perm[j] = sortPermutation(sig.hist.h[j]);
+        for (int i = 0; i < 256; ++i)
+            sig.sorted[j][i] = sig.hist.h[j][sig.perm[j][i]];
+    }
+    return sig;
+}
+
+double
+signatureDistance(const IntervalSignature &a, const IntervalSignature &b)
+{
+    double dmax = 0.0;
+    for (int j = 0; j < 8; ++j) {
+        double d = histogramDistance(a.sorted[j], a.hist.len, b.sorted[j],
+                                     b.hist.len);
+        dmax = std::max(dmax, d);
+    }
+    return dmax;
+}
+
+ByteTranslation
+makeTranslation(const IntervalSignature &source,
+                const IntervalSignature &target, double epsilon)
+{
+    ByteTranslation trans;
+    for (int j = 0; j < 8; ++j) {
+        double d = histogramDistance(source.hist.h[j], source.hist.len,
+                                     target.hist.h[j], target.hist.len);
+        if (d <= epsilon)
+            continue; // plane already matches; leave bytes unchanged
+        trans.plane_mask |= static_cast<uint8_t>(1u << j);
+        for (int i = 0; i < 256; ++i)
+            trans.t[j][source.perm[j][i]] = target.perm[j][i];
+    }
+    return trans;
+}
+
+} // namespace atc::core

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sorted byte-histograms, interval distance, and byte translations
+ * (paper §5.1).
+ *
+ * An interval of L addresses is characterized by 8 byte-histograms
+ * h[j] (j = 0 is the least-significant byte, matching the paper's
+ * A(k) = sum_j b[j](k) * 2^(8j)). Sorting each histogram in decreasing
+ * order yields h'[j] and a permutation p[j] (stable: ties keep byte-
+ * value order). The distance between intervals is
+ *
+ *   D(A,B) = max_j d(h'_A[j], h'_B[j]),
+ *   d(hA, hB) = (1/L) * sum_i |hA(i) - hB(i)|,  in [0, 2].
+ *
+ * When interval B "looks like" chunk A (D < epsilon), B is replaced by
+ * A transformed through the byte translations t[j] = p_B[j] ∘ p_A[j]⁻¹,
+ * applied only on planes j whose *unsorted* histograms differ by more
+ * than epsilon — this is the paper's fix for the myopic interval
+ * problem.
+ */
+
+#ifndef ATC_ATC_HISTOGRAM_HPP_
+#define ATC_ATC_HISTOGRAM_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace atc::core {
+
+/** Permutation of byte values. */
+using BytePermutation = std::array<uint8_t, 256>;
+
+/** One histogram: occurrence count of each byte value. */
+using ByteHistogram = std::array<uint32_t, 256>;
+
+/** Raw per-plane histograms of one interval (plane 0 = LSB). */
+struct IntervalHistograms
+{
+    uint64_t len = 0;
+    std::array<ByteHistogram, 8> h{};
+};
+
+/** Compute the 8 byte-histograms of [addrs, addrs+n). */
+IntervalHistograms computeHistograms(const uint64_t *addrs, size_t n);
+
+/**
+ * The stable sort permutation p of a histogram: p[i] is the byte value
+ * with the i-th largest count, ties broken toward smaller byte values.
+ */
+BytePermutation sortPermutation(const ByteHistogram &h);
+
+/**
+ * L1 histogram distance normalized by interval lengths:
+ * sum_i |a(i)/la - b(i)/lb|; equals the paper's d for la == lb == L.
+ */
+double histogramDistance(const ByteHistogram &a, uint64_t la,
+                         const ByteHistogram &b, uint64_t lb);
+
+/** Precomputed signature of a chunk or interval. */
+struct IntervalSignature
+{
+    IntervalHistograms hist;
+    /** Sorted histograms h'[j]. */
+    std::array<ByteHistogram, 8> sorted{};
+    /** Sort permutations p[j]. */
+    std::array<BytePermutation, 8> perm{};
+
+    /** Build sorted histograms and permutations from raw histograms. */
+    static IntervalSignature from(IntervalHistograms hist);
+};
+
+/** D(A,B): max over planes of the sorted-histogram distance. */
+double signatureDistance(const IntervalSignature &a,
+                         const IntervalSignature &b);
+
+/** Per-plane byte translation with an application mask. */
+struct ByteTranslation
+{
+    /** Bit j set: translate plane j (LSB plane = bit 0). */
+    uint8_t plane_mask = 0;
+    /** Translation tables, valid for planes in the mask. */
+    std::array<BytePermutation, 8> t{};
+
+    /** Translate one address (identity outside the mask). */
+    uint64_t
+    apply(uint64_t addr) const
+    {
+        if (plane_mask == 0)
+            return addr;
+        uint64_t out = 0;
+        for (int j = 0; j < 8; ++j) {
+            uint64_t byte = (addr >> (8 * j)) & 0xFF;
+            if (plane_mask & (1u << j))
+                byte = t[j][byte];
+            out |= byte << (8 * j);
+        }
+        return out;
+    }
+};
+
+/**
+ * Build the translation that makes chunk @p source imitate interval
+ * @p target: t[j](p_src[j](i)) = p_tgt[j](i), with plane j flagged in
+ * the mask only when the *unsorted* histograms of the plane differ by
+ * more than @p epsilon (paper §5.1: translate only where necessary).
+ */
+ByteTranslation makeTranslation(const IntervalSignature &source,
+                                const IntervalSignature &target,
+                                double epsilon);
+
+} // namespace atc::core
+
+#endif // ATC_ATC_HISTOGRAM_HPP_

@@ -1,0 +1,42 @@
+#include "atc/lossless.hpp"
+
+namespace atc::core {
+
+LosslessWriter::LosslessWriter(const LosslessParams &params,
+                               util::ByteSink &out)
+{
+    codec_stage_ = std::make_unique<comp::StreamCompressor>(
+        comp::codecByName(params.codec), out, params.codec_block);
+    transform_ = std::make_unique<TransformEncoder>(
+        params.transform, params.buffer_addrs, *codec_stage_);
+}
+
+void
+LosslessWriter::code(uint64_t addr)
+{
+    transform_->code(addr);
+}
+
+void
+LosslessWriter::finish()
+{
+    transform_->finish();
+    codec_stage_->finish();
+}
+
+LosslessReader::LosslessReader(const LosslessParams &params,
+                               util::ByteSource &in)
+{
+    codec_stage_ = std::make_unique<comp::StreamDecompressor>(
+        comp::codecByName(params.codec), in);
+    transform_ = std::make_unique<TransformDecoder>(params.transform,
+                                                    *codec_stage_);
+}
+
+bool
+LosslessReader::decode(uint64_t *out)
+{
+    return transform_->decode(out);
+}
+
+} // namespace atc::core

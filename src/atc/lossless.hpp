@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lossless address-stream compression (paper §4): transform (bytesort,
+ * unshuffle, or none) followed by a byte-level codec.
+ *
+ * This is both ATC's lossless mode ('c' in the original tool) and the
+ * per-chunk compressor of the lossy mode.
+ */
+
+#ifndef ATC_ATC_LOSSLESS_HPP_
+#define ATC_ATC_LOSSLESS_HPP_
+
+#include <memory>
+#include <string>
+
+#include "atc/bytesort.hpp"
+#include "compress/stream.hpp"
+
+namespace atc::core {
+
+/** Parameters of the transform + codec pipeline. */
+struct LosslessParams
+{
+    /** Reversible transform (paper evaluates all three). */
+    Transform transform = Transform::Bytesort;
+    /** Bytesort buffer B in addresses (paper: 1M "small", 10M "big"). */
+    size_t buffer_addrs = 1'000'000;
+    /** Byte-level codec registry name. */
+    std::string codec = "bwc";
+    /** Codec block size in bytes. */
+    size_t codec_block = comp::kDefaultBlockSize;
+};
+
+/** Streaming lossless compressor into a byte sink. */
+class LosslessWriter
+{
+  public:
+    /**
+     * @param params pipeline parameters
+     * @param out    destination (e.g. a chunk file)
+     */
+    LosslessWriter(const LosslessParams &params, util::ByteSink &out);
+
+    /** Compress one address. */
+    void code(uint64_t addr);
+
+    /** Flush everything; call exactly once. */
+    void finish();
+
+    /** @return addresses coded. */
+    uint64_t count() const { return transform_->count(); }
+
+  private:
+    std::unique_ptr<comp::StreamCompressor> codec_stage_;
+    std::unique_ptr<TransformEncoder> transform_;
+};
+
+/** Streaming lossless decompressor from a byte source. */
+class LosslessReader
+{
+  public:
+    /**
+     * @param params parameters used to write the stream (buffer size is
+     *               not needed; frames are self-describing)
+     * @param in     source (e.g. a chunk file)
+     */
+    LosslessReader(const LosslessParams &params, util::ByteSource &in);
+
+    /**
+     * Decompress the next address.
+     * @return false at end of stream
+     */
+    bool decode(uint64_t *out);
+
+  private:
+    std::unique_ptr<comp::StreamDecompressor> codec_stage_;
+    std::unique_ptr<TransformDecoder> transform_;
+};
+
+} // namespace atc::core
+
+#endif // ATC_ATC_LOSSLESS_HPP_

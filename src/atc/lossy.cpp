@@ -1,0 +1,167 @@
+#include "atc/lossy.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace atc::core {
+
+LossyEncoder::LossyEncoder(const LossyParams &params, ChunkStore &store)
+    : params_(params), store_(store)
+{
+    ATC_CHECK(params_.interval_len > 0, "interval length must be positive");
+    ATC_CHECK(params_.chunk_table > 0, "chunk table must be nonempty");
+    buffer_.reserve(params_.interval_len);
+}
+
+void
+LossyEncoder::code(uint64_t addr)
+{
+    ATC_ASSERT(!finished_);
+    buffer_.push_back(addr);
+    ++stats_.addresses;
+    if (buffer_.size() == params_.interval_len)
+        processInterval();
+}
+
+void
+LossyEncoder::emitChunk(const IntervalSignature &sig)
+{
+    uint32_t id = static_cast<uint32_t>(stats_.chunks_created++);
+    auto sink = store_.createChunk(id);
+    LosslessWriter writer(params_.chunk_params, *sink);
+    for (uint64_t a : buffer_)
+        writer.code(a);
+    writer.finish();
+    sink->flush();
+
+    records_.push_back({IntervalRecord::Kind::Chunk, id, buffer_.size(),
+                        ByteTranslation{}});
+
+    // Register the chunk's signature; evict the oldest when full. A
+    // partial final chunk is not a candidate for imitation, so it is
+    // not registered.
+    if (buffer_.size() == params_.interval_len) {
+        if (table_.size() == params_.chunk_table)
+            table_.pop_front();
+        table_.push_back({id, sig});
+    }
+}
+
+void
+LossyEncoder::processInterval()
+{
+    IntervalSignature sig =
+        IntervalSignature::from(computeHistograms(buffer_.data(),
+                                                  buffer_.size()));
+
+    // Only full intervals may imitate: a shorter final interval has a
+    // different temporal extent and is always stored exactly.
+    bool full = buffer_.size() == params_.interval_len;
+
+    const TableEntry *best = nullptr;
+    double best_d = 0.0;
+    if (full) {
+        for (const TableEntry &entry : table_) {
+            double d = signatureDistance(entry.sig, sig);
+            if (!best || d < best_d) {
+                best = &entry;
+                best_d = d;
+            }
+        }
+    }
+
+    if (best && best_d < params_.epsilon) {
+        IntervalRecord rec;
+        rec.kind = IntervalRecord::Kind::Imitate;
+        rec.chunk_id = best->chunk_id;
+        rec.length = buffer_.size();
+        if (params_.translate)
+            rec.trans = makeTranslation(best->sig, sig, params_.epsilon);
+        records_.push_back(std::move(rec));
+        ++stats_.imitated;
+    } else {
+        emitChunk(sig);
+    }
+
+    ++stats_.intervals;
+    buffer_.clear();
+}
+
+void
+LossyEncoder::finish()
+{
+    if (finished_)
+        return;
+    if (!buffer_.empty())
+        processInterval();
+    finished_ = true;
+}
+
+LossyDecoder::LossyDecoder(const LossyParams &params, ChunkStore &store,
+                           std::vector<IntervalRecord> records)
+    : params_(params), store_(store), records_(std::move(records))
+{
+}
+
+const std::vector<uint64_t> &
+LossyDecoder::loadChunk(uint32_t id)
+{
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+        // Refresh LRU position.
+        lru_.remove(id);
+        lru_.push_front(id);
+        return it->second;
+    }
+
+    auto src = store_.openChunk(id);
+    LosslessReader reader(params_.chunk_params, *src);
+    std::vector<uint64_t> addrs;
+    uint64_t a;
+    while (reader.decode(&a))
+        addrs.push_back(a);
+
+    if (cache_.size() >= std::max<size_t>(params_.decoder_cache, 1)) {
+        uint32_t victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+    }
+    lru_.push_front(id);
+    return cache_.emplace(id, std::move(addrs)).first->second;
+}
+
+bool
+LossyDecoder::nextInterval()
+{
+    if (record_idx_ >= records_.size())
+        return false;
+    const IntervalRecord &rec = records_[record_idx_++];
+    const std::vector<uint64_t> &chunk = loadChunk(rec.chunk_id);
+    ATC_CHECK(chunk.size() == rec.length,
+              "interval record length mismatch");
+
+    interval_.resize(rec.length);
+    if (rec.kind == IntervalRecord::Kind::Chunk ||
+        rec.trans.plane_mask == 0) {
+        std::copy(chunk.begin(), chunk.end(), interval_.begin());
+    } else {
+        for (size_t i = 0; i < chunk.size(); ++i)
+            interval_[i] = rec.trans.apply(chunk[i]);
+    }
+    pos_ = 0;
+    return true;
+}
+
+bool
+LossyDecoder::decode(uint64_t *out)
+{
+    while (pos_ == interval_.size()) {
+        if (!nextInterval())
+            return false;
+    }
+    *out = interval_[pos_++];
+    return true;
+}
+
+} // namespace atc::core

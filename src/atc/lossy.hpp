@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lossy phase-based trace compression (paper §5.2).
+ *
+ * The trace is cut into intervals of L addresses. The first interval
+ * always becomes a chunk (losslessly compressed with bytesort). Each
+ * later interval is compared, via the sorted-byte-histogram distance,
+ * against the signatures of recent chunks held in a bounded histogram
+ * table (oldest chunk evicted when full). If the nearest chunk is
+ * within epsilon, the interval is recorded as an *imitation* of that
+ * chunk plus byte translations; otherwise it becomes a new chunk.
+ *
+ * The encoder produces chunks (into a ChunkStore) and an interval
+ * record list; INFO serialization lives with the top-level AtcWriter.
+ * The decoder regenerates the address stream from chunks + records,
+ * caching decompressed chunks.
+ */
+
+#ifndef ATC_ATC_LOSSY_HPP_
+#define ATC_ATC_LOSSY_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "atc/container.hpp"
+#include "atc/histogram.hpp"
+#include "atc/lossless.hpp"
+
+namespace atc::core {
+
+/** Parameters of the lossy scheme. */
+struct LossyParams
+{
+    /** Interval length L in addresses (paper: 10M). */
+    uint64_t interval_len = 10'000'000;
+    /** Similarity threshold epsilon (paper: 0.1). */
+    double epsilon = 0.1;
+    /** Histogram-table capacity in chunks (oldest evicted). */
+    size_t chunk_table = 256;
+    /** Disable to reproduce Figure 4's ablation. */
+    bool translate = true;
+    /** Decompressed chunks kept by the decoder. */
+    size_t decoder_cache = 8;
+    /** Per-chunk lossless pipeline (paper: bytesort, B = 1M). */
+    LosslessParams chunk_params;
+};
+
+/** One entry of the interval trace. */
+struct IntervalRecord
+{
+    enum class Kind : uint8_t
+    {
+        Chunk = 0,   ///< interval stored losslessly as chunk chunk_id
+        Imitate = 1, ///< interval imitates chunk chunk_id
+    };
+
+    Kind kind = Kind::Chunk;
+    uint32_t chunk_id = 0;
+    uint64_t length = 0;
+    /** Valid for Kind::Imitate. */
+    ByteTranslation trans;
+};
+
+/** Encoder-side counters. */
+struct LossyStats
+{
+    uint64_t addresses = 0;
+    uint64_t intervals = 0;
+    uint64_t chunks_created = 0;
+    uint64_t imitated = 0;
+};
+
+/** Single-pass lossy compressor. */
+class LossyEncoder
+{
+  public:
+    /**
+     * @param params scheme parameters
+     * @param store  chunk destination (must outlive the encoder)
+     */
+    LossyEncoder(const LossyParams &params, ChunkStore &store);
+
+    /** Feed one address. */
+    void code(uint64_t addr);
+
+    /** Flush the final (possibly partial) interval. */
+    void finish();
+
+    /** @return counters (valid after finish()). */
+    const LossyStats &stats() const { return stats_; }
+
+    /** @return the interval trace (valid after finish()). */
+    const std::vector<IntervalRecord> &records() const { return records_; }
+
+  private:
+    void processInterval();
+    void emitChunk(const IntervalSignature &sig);
+
+    struct TableEntry
+    {
+        uint32_t chunk_id;
+        IntervalSignature sig;
+    };
+
+    LossyParams params_;
+    ChunkStore &store_;
+    std::vector<uint64_t> buffer_;
+    std::deque<TableEntry> table_;
+    std::vector<IntervalRecord> records_;
+    LossyStats stats_;
+    bool finished_ = false;
+};
+
+/** Streaming regenerator for lossy traces. */
+class LossyDecoder
+{
+  public:
+    /**
+     * @param params  parameters used at encode time (chunk pipeline,
+     *                decoder cache size)
+     * @param store   chunk source (must outlive the decoder)
+     * @param records interval trace parsed from INFO
+     */
+    LossyDecoder(const LossyParams &params, ChunkStore &store,
+                 std::vector<IntervalRecord> records);
+
+    /**
+     * Produce the next regenerated address.
+     * @return false at end of trace
+     */
+    bool decode(uint64_t *out);
+
+  private:
+    /** Load (or fetch cached) decompressed chunk @p id. */
+    const std::vector<uint64_t> &loadChunk(uint32_t id);
+    bool nextInterval();
+
+    LossyParams params_;
+    ChunkStore &store_;
+    std::vector<IntervalRecord> records_;
+    size_t record_idx_ = 0;
+
+    // LRU cache of decompressed chunks.
+    std::unordered_map<uint32_t, std::vector<uint64_t>> cache_;
+    std::list<uint32_t> lru_; // front = most recent
+
+    std::vector<uint64_t> interval_;
+    size_t pos_ = 0;
+};
+
+} // namespace atc::core
+
+#endif // ATC_ATC_LOSSY_HPP_

@@ -1,0 +1,121 @@
+#include "cache/cache_model.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::cache {
+
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2u(uint64_t v)
+{
+    uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig &config) : config_(config)
+{
+    ATC_CHECK(isPow2(config.sets), "cache sets must be a power of two");
+    ATC_CHECK(isPow2(config.block_bytes),
+              "cache block size must be a power of two");
+    ATC_CHECK(config.ways >= 1, "cache needs at least one way");
+    block_shift_ = log2u(config.block_bytes);
+    set_mask_ = config.sets - 1;
+    lines_.resize(static_cast<size_t>(config.sets) * config.ways);
+    rand_state_ = 0x853C49E6748FEA9BULL;
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    tick_ = 0;
+    stats_ = CacheStats{};
+}
+
+bool
+CacheModel::access(uint64_t byte_addr)
+{
+    return accessBlock(byte_addr >> block_shift_);
+}
+
+bool
+CacheModel::accessBlock(uint64_t block_addr)
+{
+    std::optional<uint64_t> ignored;
+    return accessBlock(block_addr, false, ignored);
+}
+
+bool
+CacheModel::accessBlock(uint64_t block_addr, bool is_write,
+                        std::optional<uint64_t> &evicted_dirty)
+{
+    evicted_dirty.reset();
+    ++stats_.accesses;
+    ++tick_;
+    uint32_t set = static_cast<uint32_t>(block_addr) & set_mask_;
+    uint64_t tag = block_addr >> log2u(config_.sets);
+    Line *base = &lines_[static_cast<size_t>(set) * config_.ways];
+
+    // Hit path.
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            if (config_.policy == ReplPolicy::LRU)
+                base[w].order = tick_;
+            base[w].dirty |= is_write;
+            return true;
+        }
+    }
+
+    // Miss: pick a victim.
+    ++stats_.misses;
+    uint32_t victim = 0;
+    bool found_invalid = false;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        switch (config_.policy) {
+          case ReplPolicy::LRU:
+          case ReplPolicy::FIFO:
+            for (uint32_t w = 1; w < config_.ways; ++w) {
+                if (base[w].order < base[victim].order)
+                    victim = w;
+            }
+            break;
+          case ReplPolicy::RANDOM:
+            // xorshift64* draw
+            rand_state_ ^= rand_state_ >> 12;
+            rand_state_ ^= rand_state_ << 25;
+            rand_state_ ^= rand_state_ >> 27;
+            victim = static_cast<uint32_t>(
+                (rand_state_ * 0x2545F4914F6CDD1DULL) % config_.ways);
+            break;
+        }
+        if (base[victim].dirty) {
+            evicted_dirty =
+                (base[victim].tag << log2u(config_.sets)) | set;
+        }
+    }
+    base[victim] = {tag, tick_, true, is_write};
+    return false;
+}
+
+} // namespace atc::cache

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * Substrate for the trace-collection pipeline (the paper filters its
+ * address streams through 32 KB 4-way LRU L1 I/D caches) and for
+ * validating the stack-distance simulator. Tag-only: no data storage.
+ */
+
+#ifndef ATC_CACHE_CACHE_MODEL_HPP_
+#define ATC_CACHE_CACHE_MODEL_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace atc::cache {
+
+/** Replacement policies supported by CacheModel. */
+enum class ReplPolicy
+{
+    LRU,
+    FIFO,
+    RANDOM,
+};
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    /** Number of sets; must be a power of two. */
+    uint32_t sets = 128;
+    /** Associativity (ways per set). */
+    uint32_t ways = 4;
+    /** Block size in bytes; must be a power of two. */
+    uint32_t block_bytes = 64;
+    /** Replacement policy. */
+    ReplPolicy policy = ReplPolicy::LRU;
+
+    /** @return total capacity in bytes. */
+    uint64_t
+    capacityBytes() const
+    {
+        return static_cast<uint64_t>(sets) * ways * block_bytes;
+    }
+
+    /** 32 KB, 4-way, 64 B blocks, LRU — the paper's L1 configuration. */
+    static CacheConfig
+    paperL1()
+    {
+        return {128, 4, 64, ReplPolicy::LRU};
+    }
+};
+
+/** Hit/miss counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    /** @return miss ratio, 0 when no accesses were made. */
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** One set-associative, tag-only cache. */
+class CacheModel
+{
+  public:
+    /** @param config geometry; sets and block size must be powers of 2 */
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Access a byte address.
+     * @return true on hit; on miss the block is filled (allocate-always)
+     */
+    bool access(uint64_t byte_addr);
+
+    /**
+     * Access a block address directly (already shifted by block bits).
+     */
+    bool accessBlock(uint64_t block_addr);
+
+    /**
+     * Access a block address, tracking dirtiness for write-back
+     * modelling.
+     *
+     * @param block_addr    block address
+     * @param is_write      marks the block dirty on hit or fill
+     * @param evicted_dirty receives the block address of a dirty line
+     *                      evicted by this access, if any
+     * @return true on hit
+     */
+    bool accessBlock(uint64_t block_addr, bool is_write,
+                     std::optional<uint64_t> &evicted_dirty);
+
+    /** @return block address for @p byte_addr under this geometry. */
+    uint64_t
+    blockAddr(uint64_t byte_addr) const
+    {
+        return byte_addr >> block_shift_;
+    }
+
+    /** @return accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Invalidate all blocks and reset statistics. */
+    void reset();
+
+    /** @return the configuration this model was built with. */
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t order = 0; // LRU timestamp or FIFO insertion index
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheConfig config_;
+    uint32_t block_shift_;
+    uint32_t set_mask_;
+    std::vector<Line> lines_; // sets * ways, row-major by set
+    uint64_t tick_ = 0;
+    uint64_t rand_state_;
+    CacheStats stats_;
+};
+
+} // namespace atc::cache
+
+#endif // ATC_CACHE_CACHE_MODEL_HPP_

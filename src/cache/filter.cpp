@@ -1,0 +1,52 @@
+#include "cache/filter.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::cache {
+
+CacheFilter::CacheFilter(const CacheConfig &l1) : icache_(l1), dcache_(l1) {}
+
+CacheFilter::CacheFilter(const CacheConfig &l1, const CacheConfig &l2)
+    : icache_(l1), dcache_(l1), l2_(CacheModel(l2))
+{
+    // The L2 is fed block addresses in L1 granularity.
+    ATC_CHECK(l1.block_bytes == l2.block_bytes,
+              "filter levels must share a block size");
+}
+
+std::optional<uint64_t>
+CacheFilter::access(uint64_t byte_addr, bool is_instr)
+{
+    CacheModel &l1 = is_instr ? icache_ : dcache_;
+    if (l1.access(byte_addr))
+        return std::nullopt;
+    uint64_t block = l1.blockAddr(byte_addr);
+    if (l2_ && l2_->accessBlock(block))
+        return std::nullopt;
+    return block;
+}
+
+void
+CacheFilter::accessTagged(uint64_t byte_addr, bool is_instr, bool is_write,
+                          std::vector<uint64_t> &out)
+{
+    CacheModel &l1 = is_instr ? icache_ : dcache_;
+    uint64_t block = l1.blockAddr(byte_addr);
+    std::optional<uint64_t> evicted_dirty;
+    bool hit = l1.accessBlock(block, !is_instr && is_write, evicted_dirty);
+
+    if (!hit) {
+        // Demand miss, possibly absorbed by the L2.
+        if (!l2_ || !l2_->accessBlock(block))
+            out.push_back(block);
+    }
+    if (evicted_dirty) {
+        // Write-backs go below the L1 regardless of the L2's contents;
+        // with an L2 present the write-back is emitted only if the L2
+        // does not hold the block (victim write-allocate model).
+        if (!l2_ || !l2_->accessBlock(*evicted_dirty))
+            out.push_back(*evicted_dirty | kWriteBackTag);
+    }
+}
+
+} // namespace atc::cache

@@ -1,0 +1,78 @@
+#include "cache/opt_sim.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "util/status.hpp"
+
+namespace atc::cache {
+
+OptResult
+simulateOpt(const std::vector<uint64_t> &trace, uint32_t sets,
+            uint32_t ways)
+{
+    ATC_CHECK(sets != 0 && (sets & (sets - 1)) == 0,
+              "OPT simulator set count must be a power of two");
+    ATC_CHECK(ways >= 1, "OPT simulator needs ways >= 1");
+
+    OptResult result;
+    result.accesses = trace.size();
+    const size_t n = trace.size();
+    const uint64_t kNever = ~0ull;
+
+    // Pass 1: next_use[i] = index of the next reference to trace[i]'s
+    // block, or kNever. Built by scanning backwards with a last-seen
+    // map.
+    std::vector<uint64_t> next_use(n);
+    {
+        std::unordered_map<uint64_t, uint64_t> last_seen;
+        last_seen.reserve(n / 4 + 16);
+        for (size_t i = n; i-- > 0;) {
+            auto it = last_seen.find(trace[i]);
+            next_use[i] = it == last_seen.end() ? kNever : it->second;
+            last_seen[trace[i]] = i;
+        }
+    }
+
+    // Pass 2: per-set simulation. Each set keeps its resident blocks in
+    // an ordered set keyed by (next_use, block), so the victim under
+    // MIN is simply the largest key.
+    struct SetState
+    {
+        // (next use index, block) ordered ascending; resident blocks.
+        std::set<std::pair<uint64_t, uint64_t>> order;
+        std::unordered_map<uint64_t, uint64_t> resident; // block -> key
+    };
+    std::vector<SetState> state(sets);
+    const uint32_t set_mask = sets - 1;
+
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t block = trace[i];
+        SetState &s = state[static_cast<uint32_t>(block) & set_mask];
+
+        auto it = s.resident.find(block);
+        if (it != s.resident.end()) {
+            // Hit: re-key the block to its new next use.
+            s.order.erase({it->second, block});
+            s.order.insert({next_use[i], block});
+            it->second = next_use[i];
+            continue;
+        }
+
+        ++result.misses;
+        if (s.resident.size() < ways) {
+            ++result.cold_misses;
+        } else {
+            // Evict the block whose next use is farthest in the future
+            // (kNever sorts last, so never-reused blocks go first).
+            auto victim = std::prev(s.order.end());
+            s.resident.erase(victim->second);
+            s.order.erase(victim);
+        }
+        s.order.insert({next_use[i], block});
+        s.resident[block] = next_use[i];
+    }
+    return result;
+}
+
+} // namespace atc::cache

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Miss-ratio simulation under optimal (Belady/MIN) replacement.
+ *
+ * The Cheetah simulator the paper uses for Figure 3 (Sugumar &
+ * Abraham, "Efficient simulation of caches under optimal replacement")
+ * is built around exactly this capability: OPT miss ratios expose how
+ * much of a miss curve is replacement-policy artefact vs. inherent
+ * reuse. This implementation is offline (two passes): a first pass
+ * records each reference's next-use time, a second simulates MIN by
+ * evicting the block in the set whose next use is farthest away.
+ *
+ * Complexity: O(N log A) with a per-set ordered structure over at most
+ * `ways` resident blocks.
+ */
+
+#ifndef ATC_CACHE_OPT_SIM_HPP_
+#define ATC_CACHE_OPT_SIM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace atc::cache {
+
+/** Result of an OPT simulation over one geometry. */
+struct OptResult
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t cold_misses = 0;
+
+    /** @return miss ratio, 0 when empty. */
+    double
+    missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Simulate a set-associative cache with MIN replacement over a
+ * block-address trace.
+ *
+ * @param trace block addresses in reference order
+ * @param sets  number of sets (power of two)
+ * @param ways  associativity
+ * @return miss counters
+ */
+OptResult simulateOpt(const std::vector<uint64_t> &trace, uint32_t sets,
+                      uint32_t ways);
+
+} // namespace atc::cache
+
+#endif // ATC_CACHE_OPT_SIM_HPP_

@@ -1,0 +1,67 @@
+#include "cache/stack_sim.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::cache {
+
+StackSimulator::StackSimulator(uint32_t sets, uint32_t max_ways)
+    : sets_(sets), max_ways_(max_ways), set_mask_(sets - 1),
+      stacks_(sets), hist_(max_ways, 0)
+{
+    ATC_CHECK(sets_ != 0 && (sets_ & (sets_ - 1)) == 0,
+              "stack simulator set count must be a power of two");
+    ATC_CHECK(max_ways_ >= 1, "stack simulator needs max_ways >= 1");
+}
+
+void
+StackSimulator::access(uint64_t block_addr)
+{
+    ++accesses_;
+    uint32_t set = static_cast<uint32_t>(block_addr) & set_mask_;
+    uint64_t tag = block_addr >> __builtin_ctz(sets_);
+    std::vector<uint64_t> &stack = stacks_[set];
+
+    // Find the tag's depth (1-based); an access at depth d hits in any
+    // cache of this set count with associativity >= d.
+    for (size_t d = 0; d < stack.size(); ++d) {
+        if (stack[d] == tag) {
+            hist_[d]++;
+            // Move to front.
+            for (size_t i = d; i > 0; --i)
+                stack[i] = stack[i - 1];
+            stack[0] = tag;
+            return;
+        }
+    }
+
+    // Not in the tracked window: cold miss if we've never truncated this
+    // deep, otherwise a reuse beyond max_ways; both miss at every
+    // tracked associativity, so the distinction is informational.
+    if (stack.size() < max_ways_)
+        ++cold_;
+    else
+        ++deep_;
+    stack.insert(stack.begin(), tag);
+    if (stack.size() > max_ways_)
+        stack.pop_back();
+}
+
+uint64_t
+StackSimulator::missCount(uint32_t ways) const
+{
+    ATC_CHECK(ways >= 1 && ways <= max_ways_,
+              "associativity outside simulated range");
+    uint64_t hits = 0;
+    for (uint32_t d = 0; d < ways; ++d)
+        hits += hist_[d];
+    return accesses_ - hits;
+}
+
+double
+StackSimulator::missRatio(uint32_t ways) const
+{
+    return accesses_ ? static_cast<double>(missCount(ways)) / accesses_
+                     : 0.0;
+}
+
+} // namespace atc::cache

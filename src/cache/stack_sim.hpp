@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-pass multi-associativity LRU simulation (Cheetah-style).
+ *
+ * For a fixed number of sets, one pass over a block-address trace
+ * yields the miss ratio of *every* associativity 1..max_ways at once,
+ * via per-set LRU stack distances — the inclusion property the Cheetah
+ * simulator exploits. Used to regenerate Figures 3 and 4.
+ */
+
+#ifndef ATC_CACHE_STACK_SIM_HPP_
+#define ATC_CACHE_STACK_SIM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace atc::cache {
+
+/** Per-set LRU stack simulator for associativities 1..max_ways. */
+class StackSimulator
+{
+  public:
+    /**
+     * @param sets     number of cache sets (power of two)
+     * @param max_ways largest associativity of interest
+     */
+    StackSimulator(uint32_t sets, uint32_t max_ways);
+
+    /** Feed one block address. */
+    void access(uint64_t block_addr);
+
+    /**
+     * Miss ratio for a cache of this set count and @p ways ways.
+     * @param ways associativity in [1, max_ways]
+     */
+    double missRatio(uint32_t ways) const;
+
+    /** @return misses for associativity @p ways (incl. cold misses). */
+    uint64_t missCount(uint32_t ways) const;
+
+    /** @return total accesses observed. */
+    uint64_t accesses() const { return accesses_; }
+
+    /** @return stack distance histogram; index d = hits at depth d+1. */
+    const std::vector<uint64_t> &distanceHistogram() const { return hist_; }
+
+    /** @return number of cold (first-reference) misses. */
+    uint64_t coldMisses() const { return cold_; }
+
+  private:
+    uint32_t sets_;
+    uint32_t max_ways_;
+    uint32_t set_mask_;
+    // Per-set MRU-ordered tag stacks, truncated at max_ways entries.
+    std::vector<std::vector<uint64_t>> stacks_;
+    // hist_[d] = number of accesses whose LRU stack distance was d+1.
+    std::vector<uint64_t> hist_;
+    uint64_t cold_ = 0;     // first-touch misses
+    uint64_t deep_ = 0;     // reuses deeper than max_ways
+    uint64_t accesses_ = 0;
+};
+
+} // namespace atc::cache
+
+#endif // ATC_CACHE_STACK_SIM_HPP_

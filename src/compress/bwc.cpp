@@ -1,0 +1,69 @@
+#include "compress/bwc.hpp"
+
+#include "compress/bwt.hpp"
+#include "compress/huffman.hpp"
+#include "compress/mtf.hpp"
+#include "compress/rle.hpp"
+#include "util/bitio.hpp"
+#include "util/crc32.hpp"
+
+namespace atc::comp {
+
+void
+BwcCodec::compressBlock(const uint8_t *data, size_t n,
+                        util::ByteSink &out) const
+{
+    util::writeLE<uint32_t>(out, util::crc32(data, n));
+
+    BwtResult bwt = bwtForward(data, n);
+    util::writeVarint(out, bwt.primary);
+
+    std::vector<uint8_t> mtf = mtfEncode(bwt.data.data(), bwt.data.size());
+    bwt.data.clear();
+    bwt.data.shrink_to_fit();
+    std::vector<uint16_t> symbols = rleEncode(mtf.data(), mtf.size());
+    mtf.clear();
+    mtf.shrink_to_fit();
+
+    std::vector<uint64_t> freq(kRleAlphabet, 0);
+    for (uint16_t s : symbols)
+        freq[s]++;
+    HuffmanEncoder enc(freq);
+
+    util::BitWriter bw(out);
+    enc.writeTable(bw);
+    for (uint16_t s : symbols)
+        enc.writeSymbol(bw, s);
+    bw.alignAndFlush();
+}
+
+void
+BwcCodec::decompressBlock(util::ByteSource &in, size_t raw_size,
+                          std::vector<uint8_t> &out) const
+{
+    uint32_t crc = util::readLE<uint32_t>(in);
+    uint64_t primary = util::readVarint(in);
+
+    util::BitReader br(in);
+    HuffmanDecoder dec = HuffmanDecoder::readTable(br, kRleAlphabet);
+
+    std::vector<uint16_t> symbols;
+    symbols.reserve(raw_size / 2 + 16);
+    for (;;) {
+        int sym = dec.decode(br);
+        symbols.push_back(static_cast<uint16_t>(sym));
+        if (sym == kEob)
+            break;
+    }
+    br.align();
+
+    std::vector<uint8_t> mtf = rleDecode(symbols);
+    ATC_CHECK(mtf.size() == raw_size, "BWC block size mismatch");
+    std::vector<uint8_t> bwt = mtfDecode(mtf.data(), mtf.size());
+    out = bwtInverse(bwt.data(), bwt.size(),
+                     static_cast<uint32_t>(primary));
+    ATC_CHECK(util::crc32(out.data(), out.size()) == crc,
+              "BWC block CRC mismatch");
+}
+
+} // namespace atc::comp

@@ -1,0 +1,82 @@
+#include "compress/bwt.hpp"
+
+#include "compress/sais.hpp"
+#include "util/status.hpp"
+
+namespace atc::comp {
+
+BwtResult
+bwtForward(const uint8_t *data, size_t n)
+{
+    BwtResult result;
+    if (n == 0)
+        return result;
+
+    std::vector<int32_t> sa = suffixArray(data, n);
+
+    // Conceptual matrix rows: row 0 is the sentinel suffix (BWT char is
+    // the last input byte); rows 1..n are the suffixes in sa order, each
+    // contributing the byte preceding it. The row of suffix 0 would
+    // contribute the sentinel itself; it is skipped and recorded.
+    result.data.resize(n);
+    result.data[0] = data[n - 1];
+    size_t out = 1;
+    for (size_t i = 0; i < n; ++i) {
+        if (sa[i] == 0) {
+            result.primary = static_cast<uint32_t>(i + 1);
+        } else {
+            result.data[out++] = data[sa[i] - 1];
+        }
+    }
+    ATC_ASSERT(out == n);
+    ATC_ASSERT(result.primary >= 1 && result.primary <= n);
+    return result;
+}
+
+std::vector<uint8_t>
+bwtInverse(const uint8_t *data, size_t n, uint32_t primary)
+{
+    if (n == 0)
+        return {};
+    ATC_CHECK(primary >= 1 && primary <= n, "BWT primary index out of range");
+
+    // Conceptual array B of n+1 symbols: the given bytes with the
+    // sentinel re-inserted at position `primary`. base[c] is the first
+    // row whose rotation starts with c; the sentinel row is row 0.
+    std::vector<uint32_t> cnt(256, 0);
+    for (size_t i = 0; i < n; ++i)
+        cnt[data[i]]++;
+    std::vector<uint32_t> base(256);
+    uint32_t sum = 1; // row 0 is the sentinel row
+    for (int c = 0; c < 256; ++c) {
+        base[c] = sum;
+        sum += cnt[c];
+    }
+
+    // LF mapping over the n+1 conceptual rows.
+    std::vector<uint32_t> lf(n + 1);
+    std::vector<uint32_t> running(256, 0);
+    for (size_t i = 0; i <= n; ++i) {
+        if (i == primary) {
+            lf[i] = 0;
+        } else {
+            uint8_t c = data[i - (i > primary ? 1 : 0)];
+            lf[i] = base[c] + running[c]++;
+        }
+    }
+
+    // Walk the cycle backwards from the row of rotation 0, skipping the
+    // sentinel emission.
+    std::vector<uint8_t> out(n);
+    uint32_t row = lf[primary];
+    for (size_t k = n; k-- > 0;) {
+        ATC_CHECK(row != primary, "corrupt BWT stream");
+        uint8_t c = data[row - (row > primary ? 1 : 0)];
+        out[k] = c;
+        row = lf[row];
+    }
+    ATC_CHECK(row == primary, "corrupt BWT stream (cycle mismatch)");
+    return out;
+}
+
+} // namespace atc::comp

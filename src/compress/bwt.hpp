@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Burrows-Wheeler transform (forward and inverse).
+ *
+ * Suffix-array based variant: the input is treated as if followed by a
+ * unique sentinel smaller than every byte; the sentinel itself is not
+ * emitted, its row index (the primary index) is returned instead.
+ */
+
+#ifndef ATC_COMPRESS_BWT_HPP_
+#define ATC_COMPRESS_BWT_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atc::comp {
+
+/** Result of a forward BWT. */
+struct BwtResult
+{
+    /** Transformed bytes, same length as the input. */
+    std::vector<uint8_t> data;
+    /**
+     * Row of the dropped sentinel character, in [1, n] for nonempty
+     * input. Required to invert the transform.
+     */
+    uint32_t primary = 0;
+};
+
+/** Forward transform of [data, data+n). */
+BwtResult bwtForward(const uint8_t *data, size_t n);
+
+/**
+ * Inverse transform.
+ *
+ * @param data    transformed bytes
+ * @param n       length
+ * @param primary primary index returned by bwtForward
+ * @return the original byte string
+ */
+std::vector<uint8_t> bwtInverse(const uint8_t *data, size_t n,
+                                uint32_t primary);
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_BWT_HPP_

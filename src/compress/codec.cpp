@@ -1,0 +1,39 @@
+#include "compress/codec.hpp"
+
+#include "compress/bwc.hpp"
+#include "compress/lzh.hpp"
+#include "util/status.hpp"
+
+namespace atc::comp {
+
+void
+StoreCodec::compressBlock(const uint8_t *data, size_t n,
+                          util::ByteSink &out) const
+{
+    out.write(data, n);
+}
+
+void
+StoreCodec::decompressBlock(util::ByteSource &in, size_t raw_size,
+                            std::vector<uint8_t> &out) const
+{
+    out.resize(raw_size);
+    in.readExact(out.data(), raw_size);
+}
+
+const Codec &
+codecByName(const std::string &name)
+{
+    static const BwcCodec bwc;
+    static const LzhCodec lzh;
+    static const StoreCodec store;
+    if (name == "bwc")
+        return bwc;
+    if (name == "lzh")
+        return lzh;
+    if (name == "store")
+        return store;
+    util::raise("unknown codec: " + name);
+}
+
+} // namespace atc::comp

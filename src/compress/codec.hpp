@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Block codec interface and registry.
+ *
+ * The original ATC tool delegated byte-level compression to an external
+ * command ("bzip2 -c"); this library replaces that seam with a Codec
+ * interface and named registry ("bwc", "lzh", "store"), so chunk
+ * compression stays pluggable without forking processes.
+ */
+
+#ifndef ATC_COMPRESS_CODEC_HPP_
+#define ATC_COMPRESS_CODEC_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytestream.hpp"
+
+namespace atc::comp {
+
+/**
+ * A whole-block byte compressor.
+ *
+ * compressBlock writes a self-contained representation of one block;
+ * decompressBlock reads exactly one such representation back. Framing
+ * (block sizes, end of stream) is the caller's job — see stream.hpp.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /** @return registry name of this codec ("bwc", "lzh", "store"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compress one block.
+     * @param data block contents
+     * @param n    block size in bytes
+     * @param out  sink receiving the compressed representation
+     */
+    virtual void compressBlock(const uint8_t *data, size_t n,
+                               util::ByteSink &out) const = 0;
+
+    /**
+     * Decompress one block previously written by compressBlock.
+     * @param in       source positioned at the block representation
+     * @param raw_size original block size (from the stream framing)
+     * @param out      receives exactly raw_size bytes
+     */
+    virtual void decompressBlock(util::ByteSource &in, size_t raw_size,
+                                 std::vector<uint8_t> &out) const = 0;
+};
+
+/**
+ * Look up a codec by name.
+ * @throws util::Error for unknown names.
+ */
+const Codec &codecByName(const std::string &name);
+
+/** "store": the identity codec (useful for tests and calibration). */
+class StoreCodec : public Codec
+{
+  public:
+    std::string name() const override { return "store"; }
+    void compressBlock(const uint8_t *data, size_t n,
+                       util::ByteSink &out) const override;
+    void decompressBlock(util::ByteSource &in, size_t raw_size,
+                         std::vector<uint8_t> &out) const override;
+};
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_CODEC_HPP_

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Canonical, length-limited Huffman coding.
+ *
+ * Entropy back end for both the BWC and LZH codecs. Code lengths are
+ * derived from symbol frequencies with a standard Huffman tree, then
+ * adjusted (Kraft-sum rebalancing, as in zlib) so no code exceeds the
+ * length limit. Codes are canonical, so only the length of each symbol
+ * needs to be stored in the stream.
+ */
+
+#ifndef ATC_COMPRESS_HUFFMAN_HPP_
+#define ATC_COMPRESS_HUFFMAN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.hpp"
+
+namespace atc::comp {
+
+/** Maximum supported code length (5-bit length fields in the stream). */
+constexpr int kMaxCodeLen = 24;
+
+/**
+ * Compute canonical code lengths for @p freq (0 length = unused symbol).
+ *
+ * @param freq  per-symbol occurrence counts
+ * @param limit maximum code length, <= kMaxCodeLen
+ * @return per-symbol code lengths forming a prefix-free code
+ */
+std::vector<uint8_t> huffmanLengths(const std::vector<uint64_t> &freq,
+                                    int limit = kMaxCodeLen);
+
+/** Encoder table mapping symbols to canonical codes. */
+class HuffmanEncoder
+{
+  public:
+    /** Build codes directly from frequencies. */
+    explicit HuffmanEncoder(const std::vector<uint64_t> &freq,
+                            int limit = kMaxCodeLen);
+
+    /** Build codes from precomputed lengths. */
+    explicit HuffmanEncoder(const std::vector<uint8_t> &lengths);
+
+    /** Serialize the code lengths (5 bits each) into @p bw. */
+    void writeTable(util::BitWriter &bw) const;
+
+    /** Emit the code of @p symbol; the symbol must be in use. */
+    void
+    writeSymbol(util::BitWriter &bw, int symbol) const
+    {
+        bw.writeBits(codes_[symbol], lengths_[symbol]);
+    }
+
+    /** @return code length per symbol (0 = unused). */
+    const std::vector<uint8_t> &lengths() const { return lengths_; }
+
+  private:
+    void buildCodes();
+
+    std::vector<uint8_t> lengths_;
+    std::vector<uint32_t> codes_;
+};
+
+/** Decoder for canonical codes. */
+class HuffmanDecoder
+{
+  public:
+    /** Build from explicit code lengths. */
+    explicit HuffmanDecoder(const std::vector<uint8_t> &lengths);
+
+    /** Read a table serialized by HuffmanEncoder::writeTable. */
+    static HuffmanDecoder readTable(util::BitReader &br, int alphabet);
+
+    /** Decode one symbol; throws on invalid codes or truncation. */
+    int decode(util::BitReader &br) const;
+
+  private:
+    // first_code_[l] is the canonical code value of the first code of
+    // length l; first_index_[l] indexes sorted_symbols_.
+    uint32_t first_code_[kMaxCodeLen + 2] = {};
+    int32_t first_index_[kMaxCodeLen + 2] = {};
+    uint16_t count_[kMaxCodeLen + 2] = {};
+    std::vector<uint16_t> sorted_symbols_;
+};
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_HUFFMAN_HPP_

@@ -1,0 +1,66 @@
+#include "compress/mtf.hpp"
+
+namespace atc::comp {
+
+MtfCoder::MtfCoder()
+{
+    reset();
+}
+
+void
+MtfCoder::reset()
+{
+    for (int i = 0; i < 256; ++i)
+        order_[i] = static_cast<uint8_t>(i);
+}
+
+uint8_t
+MtfCoder::encode(uint8_t value)
+{
+    // Find the rank of value, shifting everything in front of it down.
+    uint8_t prev = order_[0];
+    if (prev == value)
+        return 0;
+    int rank = 1;
+    for (;; ++rank) {
+        uint8_t cur = order_[rank];
+        order_[rank] = prev;
+        prev = cur;
+        if (cur == value)
+            break;
+    }
+    order_[0] = value;
+    return static_cast<uint8_t>(rank);
+}
+
+uint8_t
+MtfCoder::decode(uint8_t rank)
+{
+    uint8_t value = order_[rank];
+    for (int i = rank; i > 0; --i)
+        order_[i] = order_[i - 1];
+    order_[0] = value;
+    return value;
+}
+
+std::vector<uint8_t>
+mtfEncode(const uint8_t *data, size_t n)
+{
+    MtfCoder coder;
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = coder.encode(data[i]);
+    return out;
+}
+
+std::vector<uint8_t>
+mtfDecode(const uint8_t *data, size_t n)
+{
+    MtfCoder coder;
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = coder.decode(data[i]);
+    return out;
+}
+
+} // namespace atc::comp

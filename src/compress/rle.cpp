@@ -1,0 +1,87 @@
+#include "compress/rle.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::comp {
+
+namespace {
+
+/** Append the bijective base-2 numeral for a run of @p run zeros. */
+void
+emitRun(uint64_t run, std::vector<uint16_t> &out)
+{
+    // run = sum of digit_i * 2^i with digits in {1 (RUNA), 2 (RUNB)}.
+    while (run > 0) {
+        if (run & 1) {
+            out.push_back(kRunA);
+            run = (run - 1) >> 1;
+        } else {
+            out.push_back(kRunB);
+            run = (run - 2) >> 1;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<uint16_t>
+rleEncode(const uint8_t *data, size_t n)
+{
+    std::vector<uint16_t> out;
+    out.reserve(n / 2 + 16);
+    uint64_t run = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (data[i] == 0) {
+            ++run;
+            continue;
+        }
+        emitRun(run, out);
+        run = 0;
+        out.push_back(static_cast<uint16_t>(data[i]) + 1);
+    }
+    emitRun(run, out);
+    out.push_back(kEob);
+    return out;
+}
+
+std::vector<uint8_t>
+rleDecode(const std::vector<uint16_t> &symbols)
+{
+    std::vector<uint8_t> out;
+    out.reserve(symbols.size());
+    uint64_t run = 0;
+    uint64_t weight = 1;
+    bool in_run = false;
+    bool saw_eob = false;
+
+    auto flush_run = [&]() {
+        for (uint64_t i = 0; i < run; ++i)
+            out.push_back(0);
+        run = 0;
+        weight = 1;
+        in_run = false;
+    };
+
+    for (size_t i = 0; i < symbols.size(); ++i) {
+        uint16_t sym = symbols[i];
+        ATC_CHECK(!saw_eob, "RLE symbols after EOB");
+        if (sym == kRunA || sym == kRunB) {
+            run += weight * (sym == kRunA ? 1 : 2);
+            weight <<= 1;
+            in_run = true;
+        } else if (sym == kEob) {
+            if (in_run)
+                flush_run();
+            saw_eob = true;
+        } else {
+            ATC_CHECK(sym >= 2 && sym <= 256, "invalid RLE symbol");
+            if (in_run)
+                flush_run();
+            out.push_back(static_cast<uint8_t>(sym - 1));
+        }
+    }
+    ATC_CHECK(saw_eob, "RLE stream missing EOB");
+    return out;
+}
+
+} // namespace atc::comp

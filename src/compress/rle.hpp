@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Zero-run-length recoding (bzip2's RUNA/RUNB scheme).
+ *
+ * After MTF, zeros dominate. Runs of zeros are rewritten as bijective
+ * base-2 numerals over two dedicated symbols; nonzero bytes shift up by
+ * one. The resulting symbols feed the entropy coder.
+ *
+ * Alphabet (width kAlphabet = 258):
+ *   0       RUNA (run digit, weight 1)
+ *   1       RUNB (run digit, weight 2)
+ *   2..256  literal bytes 1..255 (value + 1)
+ *   257     EOB (end of block)
+ */
+
+#ifndef ATC_COMPRESS_RLE_HPP_
+#define ATC_COMPRESS_RLE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atc::comp {
+
+/** Symbol values for the zero-run alphabet. */
+enum RleSymbol : uint16_t
+{
+    kRunA = 0,
+    kRunB = 1,
+    kEob = 257,
+};
+
+/** Number of distinct symbols the recoding can produce. */
+constexpr int kRleAlphabet = 258;
+
+/**
+ * Recode @p n MTF bytes into run-length symbols.
+ * The EOB symbol is appended.
+ */
+std::vector<uint16_t> rleEncode(const uint8_t *data, size_t n);
+
+/**
+ * Decode run-length symbols back to MTF bytes.
+ * Decoding stops at (and consumes) EOB; trailing symbols are an error.
+ *
+ * @param symbols encoded stream, must contain exactly one trailing EOB
+ * @return the original MTF byte string
+ */
+std::vector<uint8_t> rleDecode(const std::vector<uint16_t> &symbols);
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_RLE_HPP_

@@ -1,0 +1,178 @@
+#include "compress/sais.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace atc::comp {
+
+namespace {
+
+/**
+ * One induced-sorting round: given LMS suffixes seeded into sa (all
+ * other slots -1), derive the order of all L-type then S-type suffixes.
+ */
+void
+induce(const std::vector<int32_t> &t, const std::vector<bool> &is_s,
+       const std::vector<int32_t> &cnt, std::vector<int32_t> &bkt,
+       int32_t k, std::vector<int32_t> &sa)
+{
+    const int32_t m = static_cast<int32_t>(t.size());
+
+    // L-type pass, left to right, inserting at bucket heads.
+    {
+        int32_t sum = 0;
+        for (int32_t c = 0; c < k; ++c) {
+            bkt[c] = sum;
+            sum += cnt[c];
+        }
+    }
+    for (int32_t i = 0; i < m; ++i) {
+        int32_t j = sa[i] - 1;
+        if (sa[i] > 0 && !is_s[j])
+            sa[bkt[t[j]]++] = j;
+    }
+
+    // S-type pass, right to left, inserting at bucket tails.
+    {
+        int32_t sum = 0;
+        for (int32_t c = 0; c < k; ++c) {
+            sum += cnt[c];
+            bkt[c] = sum;
+        }
+    }
+    for (int32_t i = m - 1; i >= 0; --i) {
+        int32_t j = sa[i] - 1;
+        if (sa[i] > 0 && is_s[j])
+            sa[--bkt[t[j]]] = j;
+    }
+}
+
+} // namespace
+
+void
+saisCore(const std::vector<int32_t> &t, int32_t k, std::vector<int32_t> &sa)
+{
+    const int32_t m = static_cast<int32_t>(t.size());
+    ATC_ASSERT(m >= 1 && t[m - 1] == 0);
+    sa.assign(m, -1);
+    if (m == 1) {
+        sa[0] = 0;
+        return;
+    }
+
+    // Classify positions: S-type iff suffix i < suffix i+1.
+    std::vector<bool> is_s(m, false);
+    is_s[m - 1] = true;
+    for (int32_t i = m - 2; i >= 0; --i)
+        is_s[i] = t[i] < t[i + 1] || (t[i] == t[i + 1] && is_s[i + 1]);
+
+    auto is_lms = [&](int32_t i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+    std::vector<int32_t> cnt(k, 0), bkt(k);
+    for (int32_t c : t)
+        cnt[c]++;
+
+    // LMS positions in text order.
+    std::vector<int32_t> lms;
+    for (int32_t i = 1; i < m; ++i) {
+        if (is_lms(i))
+            lms.push_back(i);
+    }
+
+    // Round 1: seed LMS suffixes (any order) and induce, which sorts the
+    // LMS *substrings*.
+    {
+        int32_t sum = 0;
+        for (int32_t c = 0; c < k; ++c) {
+            sum += cnt[c];
+            bkt[c] = sum;
+        }
+    }
+    for (int32_t i : lms)
+        sa[--bkt[t[i]]] = i;
+    induce(t, is_s, cnt, bkt, k, sa);
+
+    // Name LMS substrings by scanning the induced order.
+    auto lms_equal = [&](int32_t a, int32_t b) {
+        if (a == m - 1 || b == m - 1)
+            return a == b;
+        for (int32_t d = 0;; ++d) {
+            bool a_end = d > 0 && is_lms(a + d);
+            bool b_end = d > 0 && is_lms(b + d);
+            if (a_end && b_end)
+                return true;
+            if (a_end != b_end)
+                return false;
+            if (t[a + d] != t[b + d] || is_s[a + d] != is_s[b + d])
+                return false;
+        }
+    };
+
+    std::vector<int32_t> name(m, -1);
+    int32_t num_names = 0;
+    int32_t prev = -1;
+    for (int32_t i = 0; i < m; ++i) {
+        int32_t pos = sa[i];
+        if (pos > 0 && is_lms(pos)) {
+            if (prev < 0 || !lms_equal(prev, pos))
+                ++num_names;
+            name[pos] = num_names - 1;
+            prev = pos;
+        }
+    }
+    // The sentinel suffix m-1 is LMS and sorts first.
+    ATC_ASSERT(sa[0] == m - 1);
+
+    const int32_t n_lms = static_cast<int32_t>(lms.size());
+    std::vector<int32_t> reduced(n_lms);
+    for (int32_t i = 0; i < n_lms; ++i)
+        reduced[i] = name[lms[i]];
+
+    // Order of LMS suffixes (indices into lms[]).
+    std::vector<int32_t> lms_rank(n_lms);
+    if (num_names == n_lms) {
+        for (int32_t i = 0; i < n_lms; ++i)
+            lms_rank[reduced[i]] = i;
+    } else {
+        std::vector<int32_t> sub_sa;
+        saisCore(reduced, num_names, sub_sa);
+        lms_rank = sub_sa;
+    }
+
+    // Round 2: seed LMS suffixes in true sorted order and induce.
+    std::fill(sa.begin(), sa.end(), -1);
+    {
+        int32_t sum = 0;
+        for (int32_t c = 0; c < k; ++c) {
+            sum += cnt[c];
+            bkt[c] = sum;
+        }
+    }
+    for (int32_t i = n_lms - 1; i >= 0; --i) {
+        int32_t pos = lms[lms_rank[i]];
+        sa[--bkt[t[pos]]] = pos;
+    }
+    induce(t, is_s, cnt, bkt, k, sa);
+}
+
+std::vector<int32_t>
+suffixArray(const uint8_t *data, size_t n)
+{
+    if (n == 0)
+        return {};
+
+    // Shift bytes up by one and append an explicit 0 sentinel; this is
+    // the "sentinel strictly smaller than everything" convention.
+    std::vector<int32_t> t(n + 1);
+    for (size_t i = 0; i < n; ++i)
+        t[i] = static_cast<int32_t>(data[i]) + 1;
+    t[n] = 0;
+
+    std::vector<int32_t> sa;
+    saisCore(t, 257, sa);
+    ATC_ASSERT(sa[0] == static_cast<int32_t>(n));
+    return {sa.begin() + 1, sa.end()};
+}
+
+} // namespace atc::comp

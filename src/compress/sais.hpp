@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Linear-time suffix array construction (SA-IS).
+ *
+ * Nong/Zhang/Chan induced-sorting algorithm. This is the engine behind
+ * the Burrows-Wheeler transform used by the BWC codec (the stand-in for
+ * the paper's bzip2 back end). Complexity is O(n) time and space.
+ */
+
+#ifndef ATC_COMPRESS_SAIS_HPP_
+#define ATC_COMPRESS_SAIS_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atc::comp {
+
+/**
+ * Compute the suffix array of @p data.
+ *
+ * Suffix i is data[i..n-1]; suffixes are compared as if the string were
+ * followed by a sentinel strictly smaller than every byte value.
+ *
+ * @param data input bytes (may be null when n == 0)
+ * @param n    input length
+ * @return permutation sa of [0, n) with suffix sa[0] < suffix sa[1] < ...
+ */
+std::vector<int32_t> suffixArray(const uint8_t *data, size_t n);
+
+/**
+ * Core SA-IS recursion over an integer string.
+ *
+ * @param t  input symbols; t.back() must be 0, the unique minimum
+ * @param k  alphabet size (all symbols in [0, k))
+ * @param sa output, resized to t.size(); sa[0] is the sentinel suffix
+ */
+void saisCore(const std::vector<int32_t> &t, int32_t k,
+              std::vector<int32_t> &sa);
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_SAIS_HPP_

@@ -1,0 +1,143 @@
+#include "compress/stream.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::comp {
+
+StreamCompressor::StreamCompressor(const Codec &codec, util::ByteSink &sink,
+                                   size_t block_size)
+    : codec_(codec), sink_(sink), block_size_(block_size)
+{
+    ATC_ASSERT(block_size_ > 0);
+    buffer_.reserve(block_size_);
+}
+
+StreamCompressor::~StreamCompressor()
+{
+    // finish() is the caller's job (it can throw); destructor tolerates
+    // abandoned streams.
+}
+
+void
+StreamCompressor::write(const uint8_t *data, size_t n)
+{
+    ATC_ASSERT(!finished_);
+    raw_bytes_ += n;
+    while (n > 0) {
+        size_t room = block_size_ - buffer_.size();
+        size_t take = n < room ? n : room;
+        buffer_.insert(buffer_.end(), data, data + take);
+        data += take;
+        n -= take;
+        if (buffer_.size() == block_size_)
+            emitBlock();
+    }
+}
+
+void
+StreamCompressor::emitBlock()
+{
+    util::writeVarint(sink_, buffer_.size() + 1);
+    codec_.compressBlock(buffer_.data(), buffer_.size(), sink_);
+    buffer_.clear();
+}
+
+void
+StreamCompressor::finish()
+{
+    if (finished_)
+        return;
+    if (!buffer_.empty())
+        emitBlock();
+    util::writeVarint(sink_, 0);
+    finished_ = true;
+}
+
+StreamDecompressor::StreamDecompressor(const Codec &codec,
+                                       util::ByteSource &src)
+    : codec_(codec), src_(src)
+{
+}
+
+bool
+StreamDecompressor::refill()
+{
+    if (done_)
+        return false;
+
+    // Read the frame header; a clean EOF also terminates the stream.
+    uint8_t first;
+    if (src_.read(&first, 1) == 0) {
+        done_ = true;
+        return false;
+    }
+    uint64_t header = first & 0x7F;
+    int shift = 7;
+    while (first & 0x80) {
+        src_.readExact(&first, 1);
+        header |= static_cast<uint64_t>(first & 0x7F) << shift;
+        shift += 7;
+        ATC_CHECK(shift <= 63, "corrupt frame header");
+    }
+    if (header == 0) {
+        done_ = true;
+        return false;
+    }
+
+    size_t raw_size = static_cast<size_t>(header - 1);
+    codec_.decompressBlock(src_, raw_size, block_);
+    ATC_CHECK(block_.size() == raw_size, "frame size mismatch");
+    pos_ = 0;
+    return true;
+}
+
+size_t
+StreamDecompressor::read(uint8_t *data, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        if (pos_ == block_.size()) {
+            if (!refill())
+                break;
+            if (block_.empty())
+                continue;
+        }
+        size_t avail = block_.size() - pos_;
+        size_t take = (n - got) < avail ? (n - got) : avail;
+        for (size_t i = 0; i < take; ++i)
+            data[got + i] = block_[pos_ + i];
+        got += take;
+        pos_ += take;
+    }
+    return got;
+}
+
+std::vector<uint8_t>
+compressAll(const Codec &codec, const uint8_t *data, size_t n,
+            size_t block_size)
+{
+    std::vector<uint8_t> out;
+    util::VectorSink sink(out);
+    StreamCompressor sc(codec, sink, block_size);
+    sc.write(data, n);
+    sc.finish();
+    return out;
+}
+
+std::vector<uint8_t>
+decompressAll(const Codec &codec, const uint8_t *data, size_t n)
+{
+    util::MemorySource src(data, n);
+    StreamDecompressor sd(codec, src);
+    std::vector<uint8_t> out;
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        size_t got = sd.read(buf, sizeof(buf));
+        if (got == 0)
+            break;
+        out.insert(out.end(), buf, buf + got);
+    }
+    return out;
+}
+
+} // namespace atc::comp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Streaming framing on top of block codecs.
+ *
+ * A compressed stream is a sequence of frames, each `varint(n + 1)`
+ * followed by the codec's representation of an n-byte block, terminated
+ * by a single 0 varint. The terminator lets compressed streams be
+ * embedded in larger files; a clean end-of-source is also accepted.
+ */
+
+#ifndef ATC_COMPRESS_STREAM_HPP_
+#define ATC_COMPRESS_STREAM_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/bytestream.hpp"
+
+namespace atc::comp {
+
+/** Default block size: 1 MiB, the scale of a bzip2 -9 block. */
+constexpr size_t kDefaultBlockSize = 1u << 20;
+
+/** Accumulates bytes and emits codec frames into a sink. */
+class StreamCompressor : public util::ByteSink
+{
+  public:
+    /**
+     * @param codec      block codec (must outlive the compressor)
+     * @param sink       destination (must outlive the compressor)
+     * @param block_size bytes per block; larger blocks compress better
+     */
+    StreamCompressor(const Codec &codec, util::ByteSink &sink,
+                     size_t block_size = kDefaultBlockSize);
+
+    ~StreamCompressor() override;
+
+    /** Buffer input, emitting a frame whenever a block fills. */
+    void write(const uint8_t *data, size_t n) override;
+
+    /** Emit the final partial block and the end-of-stream marker. */
+    void finish();
+
+    /** @return raw bytes consumed so far. */
+    uint64_t rawBytes() const { return raw_bytes_; }
+
+  private:
+    void emitBlock();
+
+    const Codec &codec_;
+    util::ByteSink &sink_;
+    size_t block_size_;
+    std::vector<uint8_t> buffer_;
+    uint64_t raw_bytes_ = 0;
+    bool finished_ = false;
+};
+
+/** Reads codec frames and serves decompressed bytes. */
+class StreamDecompressor : public util::ByteSource
+{
+  public:
+    /**
+     * @param codec block codec used to write the stream
+     * @param src   source positioned at the first frame
+     */
+    StreamDecompressor(const Codec &codec, util::ByteSource &src);
+
+    /** Serve decompressed bytes; 0 at end of stream. */
+    size_t read(uint8_t *data, size_t n) override;
+
+  private:
+    bool refill();
+
+    const Codec &codec_;
+    util::ByteSource &src_;
+    std::vector<uint8_t> block_;
+    size_t pos_ = 0;
+    bool done_ = false;
+};
+
+/** One-shot convenience: compress a whole buffer into a vector. */
+std::vector<uint8_t> compressAll(const Codec &codec,
+                                 const uint8_t *data, size_t n,
+                                 size_t block_size = kDefaultBlockSize);
+
+/** One-shot convenience: decompress a whole stream into a vector. */
+std::vector<uint8_t> decompressAll(const Codec &codec,
+                                   const uint8_t *data, size_t n);
+
+} // namespace atc::comp
+
+#endif // ATC_COMPRESS_STREAM_HPP_

@@ -1,0 +1,93 @@
+#include "predict/cdc.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::pred {
+
+CdcPredictor::CdcPredictor(const CdcConfig &config)
+    : config_(config), ghb_(config.ghb_entries),
+      index_(config.index_entries)
+{
+    ATC_ASSERT(config.index_entries > 0 && config.ghb_entries > 0);
+    ATC_ASSERT(config.key_deltas >= 1);
+}
+
+const CdcPredictor::GhbEntry *
+CdcPredictor::ghbAt(uint64_t seq) const
+{
+    if (seq == 0)
+        return nullptr;
+    // Entries are overwritten after ghb_entries further insertions.
+    uint64_t newest = next_seq_ - 1;
+    if (newest >= config_.ghb_entries &&
+        seq <= newest - config_.ghb_entries)
+        return nullptr;
+    return &ghb_[seq % config_.ghb_entries];
+}
+
+void
+CdcPredictor::access(uint64_t block_addr)
+{
+    uint64_t zone = block_addr >> config_.czone_block_bits;
+    IndexEntry &entry = index_[zone % config_.index_entries];
+    bool zone_match = entry.valid && entry.zone_tag == zone;
+
+    // Score the prediction made at the zone's previous access.
+    if (zone_match && entry.has_prediction) {
+        if (entry.predicted == block_addr)
+            ++stats_.correct;
+        else
+            ++stats_.mispredicted;
+    } else {
+        ++stats_.non_predicted;
+    }
+
+    // Append to the GHB, linking to the zone's previous entry.
+    uint64_t seq = next_seq_++;
+    ghb_[seq % config_.ghb_entries] = {block_addr,
+                                       zone_match ? entry.head_seq : 0};
+    entry.zone_tag = zone;
+    entry.head_seq = seq;
+    entry.valid = true;
+    entry.has_prediction = false;
+
+    // Gather the zone's recent addresses, newest first, following the
+    // GHB links while entries are still live.
+    std::vector<uint64_t> addrs;
+    addrs.reserve(config_.ghb_entries);
+    uint64_t cur = seq;
+    while (addrs.size() < config_.ghb_entries) {
+        const GhbEntry *g = ghbAt(cur);
+        if (!g)
+            break;
+        addrs.push_back(g->addr);
+        cur = g->prev_seq;
+    }
+
+    // Delta-correlation: deltas newest-first; the key is the newest
+    // key_deltas of them. A match at offset j >= 1 predicts the delta
+    // that followed that occurrence in time, i.e. delta j-1.
+    const uint32_t k = config_.key_deltas;
+    if (addrs.size() < k + 2)
+        return;
+    std::vector<uint64_t> deltas(addrs.size() - 1);
+    for (size_t i = 0; i + 1 < addrs.size(); ++i)
+        deltas[i] = addrs[i] - addrs[i + 1];
+
+    for (size_t j = 1; j + k <= deltas.size(); ++j) {
+        bool match = true;
+        for (uint32_t d = 0; d < k; ++d) {
+            if (deltas[j + d] != deltas[d]) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            entry.predicted = block_addr + deltas[j - 1];
+            entry.has_prediction = true;
+            return;
+        }
+    }
+}
+
+} // namespace atc::pred

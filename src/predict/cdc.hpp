@@ -1,0 +1,93 @@
+/**
+ * @file
+ * C/DC-style address predictor (Nesbit, Dhodapkar & Smith).
+ *
+ * Reproduces the predictor the paper uses to validate lossy traces
+ * (Figure 5): addresses are partitioned into CZones; a per-zone index
+ * table points into a global history buffer (GHB); a 2-delta
+ * correlation key predicts the next address in the same zone. Each
+ * address is scored as non-predicted, correctly predicted, or
+ * mispredicted against the prediction made at the zone's previous
+ * access.
+ */
+
+#ifndef ATC_PREDICT_CDC_HPP_
+#define ATC_PREDICT_CDC_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace atc::pred {
+
+/** Configuration of the C/DC predictor. */
+struct CdcConfig
+{
+    /** log2 of the CZone size in *blocks*; 10 = 64 KiB zones of 64 B
+     *  blocks (the paper's configuration). */
+    uint32_t czone_block_bits = 10;
+    /** Index table entries (direct mapped). */
+    uint32_t index_entries = 256;
+    /** Global history buffer entries (circular). */
+    uint32_t ghb_entries = 256;
+    /** Number of deltas in the correlation key. */
+    uint32_t key_deltas = 2;
+};
+
+/** Outcome counters (one of the three per processed address). */
+struct CdcStats
+{
+    uint64_t non_predicted = 0;
+    uint64_t correct = 0;
+    uint64_t mispredicted = 0;
+
+    /** @return total addresses scored. */
+    uint64_t
+    total() const
+    {
+        return non_predicted + correct + mispredicted;
+    }
+};
+
+/** The predictor; feed block addresses in trace order. */
+class CdcPredictor
+{
+  public:
+    explicit CdcPredictor(const CdcConfig &config = CdcConfig());
+
+    /** Process one block address, scoring the zone's prior prediction
+     *  and forming a new prediction for the zone's next address. */
+    void access(uint64_t block_addr);
+
+    /** @return accumulated outcome counters. */
+    const CdcStats &stats() const { return stats_; }
+
+  private:
+    struct GhbEntry
+    {
+        uint64_t addr = 0;
+        // Global sequence number of the zone's previous entry, or 0.
+        uint64_t prev_seq = 0;
+    };
+
+    struct IndexEntry
+    {
+        uint64_t zone_tag = 0;
+        uint64_t head_seq = 0;  // newest GHB entry of this zone
+        uint64_t predicted = 0; // prediction for the zone's next address
+        bool valid = false;
+        bool has_prediction = false;
+    };
+
+    /** @return entry for sequence number @p seq, or null if expired. */
+    const GhbEntry *ghbAt(uint64_t seq) const;
+
+    CdcConfig config_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    uint64_t next_seq_ = 1; // sequence numbers start at 1 (0 = none)
+    CdcStats stats_;
+};
+
+} // namespace atc::pred
+
+#endif // ATC_PREDICT_CDC_HPP_

@@ -1,0 +1,119 @@
+#include "predict/value_predictors.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::pred {
+
+namespace {
+
+/** Mix a history window into a table index. */
+uint64_t
+hashHistory(const std::vector<uint64_t> &ring, int pos, int order,
+            uint64_t mask)
+{
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < order; ++i) {
+        uint64_t v = ring[(pos + i) % order];
+        h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+        h *= 0xFF51AFD7ED558CCDull;
+    }
+    return (h >> 16) & mask;
+}
+
+/** MRU-insert @p value into line [base, base+ways). */
+void
+mruInsert(uint64_t *base, int ways, uint64_t value)
+{
+    int found = ways - 1;
+    for (int i = 0; i < ways; ++i) {
+        if (base[i] == value) {
+            found = i;
+            break;
+        }
+    }
+    for (int i = found; i > 0; --i)
+        base[i] = base[i - 1];
+    base[0] = value;
+}
+
+} // namespace
+
+FcmPredictor::FcmPredictor(int order, int ways, int log2_lines)
+    : order_(order), ways_(ways), mask_((1ull << log2_lines) - 1),
+      history_(order, 0),
+      table_(static_cast<size_t>(1ull << log2_lines) * ways, 0)
+{
+    ATC_ASSERT(order >= 1 && ways >= 1 && log2_lines >= 1 &&
+               log2_lines <= 30);
+}
+
+uint64_t
+FcmPredictor::lineIndex() const
+{
+    return hashHistory(history_, hist_pos_, order_, mask_);
+}
+
+void
+FcmPredictor::predict(uint64_t *out) const
+{
+    const uint64_t *line = &table_[lineIndex() * ways_];
+    for (int i = 0; i < ways_; ++i)
+        out[i] = line[i];
+}
+
+void
+FcmPredictor::update(uint64_t actual)
+{
+    uint64_t *line = &table_[lineIndex() * ways_];
+    mruInsert(line, ways_, actual);
+    history_[hist_pos_] = actual;
+    hist_pos_ = (hist_pos_ + 1) % order_;
+}
+
+uint64_t
+FcmPredictor::tableBytes() const
+{
+    return table_.size() * sizeof(uint64_t);
+}
+
+DfcmPredictor::DfcmPredictor(int order, int ways, int log2_lines)
+    : order_(order), ways_(ways), mask_((1ull << log2_lines) - 1),
+      stride_history_(order, 0),
+      table_(static_cast<size_t>(1ull << log2_lines) * ways, 0)
+{
+    ATC_ASSERT(order >= 1 && ways >= 1 && log2_lines >= 1 &&
+               log2_lines <= 30);
+}
+
+uint64_t
+DfcmPredictor::lineIndex() const
+{
+    return hashHistory(stride_history_, hist_pos_, order_, mask_);
+}
+
+void
+DfcmPredictor::predict(uint64_t *out) const
+{
+    const uint64_t *line = &table_[lineIndex() * ways_];
+    for (int i = 0; i < ways_; ++i)
+        out[i] = last_ + line[i];
+}
+
+void
+DfcmPredictor::update(uint64_t actual)
+{
+    uint64_t stride = actual - last_;
+    uint64_t *line = &table_[lineIndex() * ways_];
+    mruInsert(line, ways_, stride);
+    stride_history_[hist_pos_] = stride;
+    hist_pos_ = (hist_pos_ + 1) % order_;
+    last_ = actual;
+}
+
+uint64_t
+DfcmPredictor::tableBytes() const
+{
+    return table_.size() * sizeof(uint64_t);
+}
+
+} // namespace atc::pred

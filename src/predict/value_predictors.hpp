@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Value predictors for VPC/TCgen-style trace compression.
+ *
+ * The paper's baseline is a TCgen-generated compressor specified as
+ * "DFCM3[2], FCM3[3], FCM2[3], FCM1[3]": order-3 differential FCM with
+ * 2 predictions per line, plus order-3/2/1 finite-context-method
+ * predictors with 3 predictions per line. Each prediction slot is a
+ * separate sub-predictor in the VPC coding scheme.
+ *
+ * All predictors share the MultiPredictor interface: they expose a
+ * fixed number of candidate predictions and are updated with the
+ * actual value after each coding step, in lock-step on the compressor
+ * and decompressor sides.
+ */
+
+#ifndef ATC_PREDICT_VALUE_PREDICTORS_HPP_
+#define ATC_PREDICT_VALUE_PREDICTORS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace atc::pred {
+
+/** A predictor producing several candidate next values. */
+class MultiPredictor
+{
+  public:
+    virtual ~MultiPredictor() = default;
+
+    /** @return number of prediction slots this predictor exposes. */
+    virtual int ways() const = 0;
+
+    /**
+     * Current predictions.
+     * @param out receives ways() candidate values
+     */
+    virtual void predict(uint64_t *out) const = 0;
+
+    /** Teach the predictor the value that actually occurred. */
+    virtual void update(uint64_t actual) = 0;
+};
+
+/** Last-value predictor (1 way): predicts the previous value. */
+class LastValuePredictor : public MultiPredictor
+{
+  public:
+    int ways() const override { return 1; }
+    void predict(uint64_t *out) const override { out[0] = last_; }
+    void update(uint64_t actual) override { last_ = actual; }
+
+  private:
+    uint64_t last_ = 0;
+};
+
+/** Stride predictor (1 way): last value + last observed stride. */
+class StridePredictor : public MultiPredictor
+{
+  public:
+    int ways() const override { return 1; }
+
+    void
+    predict(uint64_t *out) const override
+    {
+        out[0] = last_ + stride_;
+    }
+
+    void
+    update(uint64_t actual) override
+    {
+        stride_ = actual - last_;
+        last_ = actual;
+    }
+
+  private:
+    uint64_t last_ = 0;
+    uint64_t stride_ = 0;
+};
+
+/**
+ * Order-n finite context method: a hash of the last n values selects a
+ * table line holding the `ways` most recent values seen in that
+ * context (MRU-ordered).
+ */
+class FcmPredictor : public MultiPredictor
+{
+  public:
+    /**
+     * @param order      context length in values
+     * @param ways       predictions per line
+     * @param log2_lines log2 of the number of table lines
+     */
+    FcmPredictor(int order, int ways, int log2_lines);
+
+    int ways() const override { return ways_; }
+    void predict(uint64_t *out) const override;
+    void update(uint64_t actual) override;
+
+    /** @return table size in bytes (for memory-budget accounting). */
+    uint64_t tableBytes() const;
+
+  private:
+    uint64_t lineIndex() const;
+
+    int order_;
+    int ways_;
+    uint64_t mask_;
+    std::vector<uint64_t> history_; // ring of the last `order` values
+    int hist_pos_ = 0;
+    std::vector<uint64_t> table_; // lines * ways, MRU first
+};
+
+/**
+ * Order-n differential FCM: like FcmPredictor, but the table stores
+ * strides relative to the last value, so one line can cover many
+ * distinct address regions with the same access pattern.
+ */
+class DfcmPredictor : public MultiPredictor
+{
+  public:
+    /**
+     * @param order      context length in strides
+     * @param ways       predictions per line
+     * @param log2_lines log2 of the number of table lines
+     */
+    DfcmPredictor(int order, int ways, int log2_lines);
+
+    int ways() const override { return ways_; }
+    void predict(uint64_t *out) const override;
+    void update(uint64_t actual) override;
+
+    /** @return table size in bytes (for memory-budget accounting). */
+    uint64_t tableBytes() const;
+
+  private:
+    uint64_t lineIndex() const;
+
+    int order_;
+    int ways_;
+    uint64_t mask_;
+    uint64_t last_ = 0;
+    std::vector<uint64_t> stride_history_; // ring of last `order` strides
+    int hist_pos_ = 0;
+    std::vector<uint64_t> table_; // lines * ways of strides, MRU first
+};
+
+} // namespace atc::pred
+
+#endif // ATC_PREDICT_VALUE_PREDICTORS_HPP_

@@ -1,0 +1,160 @@
+#include "tcgen/tcgen.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::tcg {
+
+PredictorBank::PredictorBank(const TcgenConfig &config)
+{
+    // Priority order follows the paper's TCgen specification: the
+    // first matching slot wins, so stronger predictors come first.
+    if (config.dfcm3_ways > 0) {
+        predictors_.push_back(std::make_unique<pred::DfcmPredictor>(
+            3, config.dfcm3_ways, config.log2_lines));
+    }
+    if (config.fcm3_ways > 0) {
+        predictors_.push_back(std::make_unique<pred::FcmPredictor>(
+            3, config.fcm3_ways, config.log2_lines));
+    }
+    if (config.fcm2_ways > 0) {
+        predictors_.push_back(std::make_unique<pred::FcmPredictor>(
+            2, config.fcm2_ways, config.log2_lines));
+    }
+    if (config.fcm1_ways > 0) {
+        predictors_.push_back(std::make_unique<pred::FcmPredictor>(
+            1, config.fcm1_ways, config.log2_lines));
+    }
+    for (const auto &p : predictors_)
+        total_slots_ += p->ways();
+    ATC_CHECK(total_slots_ >= 1, "predictor bank is empty");
+    ATC_CHECK(total_slots_ < kTcgenEscape,
+              "too many prediction slots for 1-byte codes");
+}
+
+void
+PredictorBank::predictAll(uint64_t *out) const
+{
+    int offset = 0;
+    for (const auto &p : predictors_) {
+        p->predict(out + offset);
+        offset += p->ways();
+    }
+}
+
+void
+PredictorBank::updateAll(uint64_t actual)
+{
+    for (const auto &p : predictors_)
+        p->update(actual);
+}
+
+uint64_t
+PredictorBank::memoryBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &p : predictors_) {
+        if (auto *fcm = dynamic_cast<const pred::FcmPredictor *>(p.get()))
+            total += fcm->tableBytes();
+        else if (auto *dfcm =
+                     dynamic_cast<const pred::DfcmPredictor *>(p.get()))
+            total += dfcm->tableBytes();
+    }
+    return total;
+}
+
+TcgenEncoder::TcgenEncoder(const TcgenConfig &config,
+                           util::ByteSink &code_out,
+                           util::ByteSink &data_out)
+    : bank_(config), scratch_(bank_.slots()),
+      code_stream_(comp::codecByName(config.codec), code_out,
+                   config.codec_block),
+      data_stream_(comp::codecByName(config.codec), data_out,
+                   config.codec_block)
+{
+}
+
+void
+TcgenEncoder::code(uint64_t value)
+{
+    bank_.predictAll(scratch_.data());
+    int hit = -1;
+    for (int i = 0; i < bank_.slots(); ++i) {
+        if (scratch_[i] == value) {
+            hit = i;
+            break;
+        }
+    }
+    if (hit >= 0) {
+        code_stream_.writeByte(static_cast<uint8_t>(hit));
+    } else {
+        code_stream_.writeByte(kTcgenEscape);
+        util::writeLE<uint64_t>(data_stream_, value);
+        ++escapes_;
+    }
+    bank_.updateAll(value);
+    ++count_;
+}
+
+void
+TcgenEncoder::finish()
+{
+    code_stream_.finish();
+    data_stream_.finish();
+}
+
+TcgenDecoder::TcgenDecoder(const TcgenConfig &config,
+                           util::ByteSource &code_in,
+                           util::ByteSource &data_in)
+    : bank_(config), scratch_(bank_.slots()),
+      code_stream_(comp::codecByName(config.codec), code_in),
+      data_stream_(comp::codecByName(config.codec), data_in)
+{
+}
+
+bool
+TcgenDecoder::decode(uint64_t *out)
+{
+    uint8_t code;
+    if (code_stream_.read(&code, 1) == 0)
+        return false;
+
+    uint64_t value;
+    if (code == kTcgenEscape) {
+        value = util::readLE<uint64_t>(data_stream_);
+    } else {
+        ATC_CHECK(code < bank_.slots(), "invalid predictor code");
+        bank_.predictAll(scratch_.data());
+        value = scratch_[code];
+    }
+    bank_.updateAll(value);
+    *out = value;
+    return true;
+}
+
+TcgenResult
+tcgenCompress(const std::vector<uint64_t> &trace, const TcgenConfig &config)
+{
+    TcgenResult result;
+    util::VectorSink code_sink(result.code_bytes);
+    util::VectorSink data_sink(result.data_bytes);
+    TcgenEncoder enc(config, code_sink, data_sink);
+    for (uint64_t v : trace)
+        enc.code(v);
+    enc.finish();
+    return result;
+}
+
+std::vector<uint64_t>
+tcgenDecompress(const TcgenResult &compressed, const TcgenConfig &config)
+{
+    util::MemorySource code_src(compressed.code_bytes);
+    util::MemorySource data_src(compressed.data_bytes);
+    TcgenDecoder dec(config, code_src, data_src);
+    std::vector<uint64_t> out;
+    uint64_t v;
+    while (dec.decode(&v))
+        out.push_back(v);
+    return out;
+}
+
+} // namespace atc::tcg

@@ -1,0 +1,215 @@
+#include "trace/generators.hpp"
+
+#include <numeric>
+
+#include "util/status.hpp"
+
+namespace atc::trace {
+
+SequentialStream::SequentialStream(uint64_t base, uint64_t footprint,
+                                   uint64_t stride)
+    : base_(base), footprint_(footprint), stride_(stride)
+{
+    ATC_ASSERT(footprint_ > 0 && stride_ > 0);
+}
+
+uint64_t
+SequentialStream::next()
+{
+    uint64_t addr = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= footprint_)
+        offset_ = 0;
+    return addr;
+}
+
+LoopNest::LoopNest(uint64_t base, uint64_t footprint, uint64_t inner,
+                   uint32_t reuse, uint64_t stride)
+    : base_(base), footprint_(footprint), inner_(inner), reuse_(reuse),
+      stride_(stride)
+{
+    ATC_ASSERT(footprint_ > 0 && inner_ > 0 && inner_ <= footprint_);
+    ATC_ASSERT(reuse_ > 0 && stride_ > 0);
+}
+
+uint64_t
+LoopNest::next()
+{
+    uint64_t addr = base_ + window_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= inner_) {
+        offset_ = 0;
+        if (++sweep_ == reuse_) {
+            sweep_ = 0;
+            window_ += inner_;
+            if (window_ + inner_ > footprint_)
+                window_ = 0;
+        }
+    }
+    return addr;
+}
+
+RandomAccess::RandomAccess(uint64_t base, uint64_t footprint, uint64_t align,
+                           uint64_t seed)
+    : base_(base), slots_(footprint / align), align_(align), rng_(seed)
+{
+    ATC_ASSERT(slots_ > 0);
+}
+
+uint64_t
+RandomAccess::next()
+{
+    return base_ + rng_.below(slots_) * align_;
+}
+
+PointerChase::PointerChase(uint64_t base, uint64_t nodes, uint64_t seed)
+    : base_(base), succ_(nodes)
+{
+    ATC_ASSERT(nodes >= 1 && nodes <= (1ull << 32));
+    // Sattolo's algorithm: a uniform random single-cycle permutation.
+    std::vector<uint32_t> perm(nodes);
+    std::iota(perm.begin(), perm.end(), 0u);
+    util::Rng rng(seed);
+    for (uint64_t i = nodes - 1; i > 0; --i) {
+        uint64_t j = rng.below(i);
+        std::swap(perm[i], perm[j]);
+    }
+    // succ[perm[i]] = perm[i+1] closes the cycle.
+    for (uint64_t i = 0; i + 1 < nodes; ++i)
+        succ_[perm[i]] = perm[i + 1];
+    succ_[perm[nodes - 1]] = perm[0];
+}
+
+uint64_t
+PointerChase::next()
+{
+    uint64_t addr = base_ + static_cast<uint64_t>(cur_) * 64;
+    cur_ = succ_[cur_];
+    return addr;
+}
+
+Interleave::Interleave(std::vector<GeneratorPtr> children,
+                       std::vector<uint32_t> weights, uint64_t seed)
+    : children_(std::move(children)), rng_(seed)
+{
+    ATC_ASSERT(!children_.empty());
+    ATC_ASSERT(children_.size() == weights.size());
+    uint32_t sum = 0;
+    for (uint32_t w : weights) {
+        ATC_ASSERT(w > 0);
+        sum += w;
+        cumulative_.push_back(sum);
+    }
+    total_ = sum;
+}
+
+uint64_t
+Interleave::next()
+{
+    uint32_t pick = static_cast<uint32_t>(rng_.below(total_));
+    size_t i = 0;
+    while (pick >= cumulative_[i])
+        ++i;
+    return children_[i]->next();
+}
+
+RoundRobin::RoundRobin(std::vector<GeneratorPtr> children,
+                       std::vector<uint32_t> bursts)
+    : children_(std::move(children)), bursts_(std::move(bursts))
+{
+    ATC_ASSERT(!children_.empty());
+    ATC_ASSERT(children_.size() == bursts_.size());
+    for (uint32_t b : bursts_)
+        ATC_ASSERT(b > 0);
+    left_ = bursts_[0];
+}
+
+uint64_t
+RoundRobin::next()
+{
+    if (left_ == 0) {
+        cur_ = (cur_ + 1) % children_.size();
+        left_ = bursts_[cur_];
+    }
+    --left_;
+    return children_[cur_]->next();
+}
+
+Phased::Phased(std::vector<Phase> phases) : phases_(std::move(phases))
+{
+    ATC_ASSERT(!phases_.empty());
+    for (const Phase &p : phases_)
+        ATC_ASSERT(p.gen && p.length > 0);
+    left_ = phases_[0].length;
+}
+
+uint64_t
+Phased::next()
+{
+    if (left_ == 0) {
+        cur_ = (cur_ + 1) % phases_.size();
+        left_ = phases_[cur_].length;
+    }
+    --left_;
+    return phases_[cur_].gen->next();
+}
+
+Drift::Drift(uint64_t base, uint64_t region, uint64_t period, uint64_t stride,
+             uint32_t reuse, uint64_t seed)
+    : base_(base), region_(region), period_(period), stride_(stride),
+      reuse_(reuse), rng_(seed), left_(period)
+{
+    ATC_ASSERT(region_ > 0 && period_ > 0 && stride_ > 0 && reuse_ > 0);
+    advanceRegion();
+}
+
+void
+Drift::advanceRegion()
+{
+    uint64_t region_base = base_ + region_idx_ * region_;
+    ++region_idx_;
+    // Vary the inner structure a little between regions so successive
+    // phases are similar in temporal structure but not identical.
+    uint64_t inner = region_ / (2 + rng_.below(6));
+    if (inner < stride_)
+        inner = stride_;
+    inner_ = std::make_unique<LoopNest>(region_base, region_, inner, reuse_,
+                                        stride_);
+}
+
+uint64_t
+Drift::next()
+{
+    if (left_ == 0) {
+        advanceRegion();
+        left_ = period_;
+    }
+    --left_;
+    return inner_->next();
+}
+
+CodeStream::CodeStream(uint64_t base, uint32_t bodies, uint64_t body_bytes,
+                       uint64_t switch_rate, uint64_t seed)
+    : base_(base), bodies_(bodies), body_bytes_(body_bytes),
+      switch_rate_(switch_rate), rng_(seed)
+{
+    ATC_ASSERT(bodies_ > 0 && body_bytes_ > 0 && switch_rate_ > 0);
+}
+
+uint64_t
+CodeStream::next()
+{
+    // Sequential fetch within a body; occasionally jump to another body.
+    uint64_t addr =
+        base_ + static_cast<uint64_t>(cur_body_) * body_bytes_ + offset_;
+    offset_ += 16; // one fetch group
+    if (offset_ >= body_bytes_)
+        offset_ = 0;
+    if (rng_.below(switch_rate_) == 0) {
+        cur_body_ = static_cast<uint32_t>(rng_.below(bodies_));
+        offset_ = 0;
+    }
+    return addr;
+}
+
+} // namespace atc::trace

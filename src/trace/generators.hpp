@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Composable memory-access-pattern generators.
+ *
+ * These replace the paper's Pin-instrumented SPEC CPU2006 runs (not
+ * available offline). Each generator emits an unbounded stream of byte
+ * addresses; compositions of these primitives model the qualitative
+ * classes of memory behaviour the paper's evaluation depends on:
+ * streaming, strided loop nests, random access within a footprint,
+ * pointer chasing, and phased mixtures (stable or drifting).
+ */
+
+#ifndef ATC_TRACE_GENERATORS_HPP_
+#define ATC_TRACE_GENERATORS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace atc::trace {
+
+/** Abstract producer of byte addresses. */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /** @return the next byte address of the access stream. */
+    virtual uint64_t next() = 0;
+};
+
+/** Owned generator handle. */
+using GeneratorPtr = std::unique_ptr<AccessGenerator>;
+
+/**
+ * Sequential streaming over a region, wrapping around at the end —
+ * models vectorizable array sweeps (bwaves/milc/lbm-class behaviour).
+ */
+class SequentialStream : public AccessGenerator
+{
+  public:
+    /**
+     * @param base      region base address
+     * @param footprint region size in bytes
+     * @param stride    bytes between consecutive accesses
+     */
+    SequentialStream(uint64_t base, uint64_t footprint, uint64_t stride);
+
+    uint64_t next() override;
+
+  private:
+    uint64_t base_;
+    uint64_t footprint_;
+    uint64_t stride_;
+    uint64_t offset_ = 0;
+};
+
+/**
+ * Loop nest: an inner block of addresses is swept repeatedly before the
+ * window advances — models blocked/tiled kernels with heavy reuse.
+ */
+class LoopNest : public AccessGenerator
+{
+  public:
+    /**
+     * @param base       region base address
+     * @param footprint  region size in bytes
+     * @param inner      inner-block size in bytes
+     * @param reuse      times each inner block is swept before advancing
+     * @param stride     access stride inside a sweep
+     */
+    LoopNest(uint64_t base, uint64_t footprint, uint64_t inner,
+             uint32_t reuse, uint64_t stride);
+
+    uint64_t next() override;
+
+  private:
+    uint64_t base_;
+    uint64_t footprint_;
+    uint64_t inner_;
+    uint32_t reuse_;
+    uint64_t stride_;
+    uint64_t window_ = 0;
+    uint32_t sweep_ = 0;
+    uint64_t offset_ = 0;
+};
+
+/**
+ * Uniform random accesses within a footprint — models hash tables and
+ * irregular graph/tree traversals (mcf/sjeng-class behaviour).
+ */
+class RandomAccess : public AccessGenerator
+{
+  public:
+    /**
+     * @param base      region base address
+     * @param footprint region size in bytes
+     * @param align     address alignment in bytes (power of two)
+     * @param seed      RNG seed
+     */
+    RandomAccess(uint64_t base, uint64_t footprint, uint64_t align,
+                 uint64_t seed);
+
+    uint64_t next() override;
+
+  private:
+    uint64_t base_;
+    uint64_t slots_;
+    uint64_t align_;
+    util::Rng rng_;
+};
+
+/**
+ * Pointer chasing over a random permutation cycle — like RandomAccess
+ * but with a deterministic, repeating order, which matters for
+ * predictors and for lossy phase detection.
+ */
+class PointerChase : public AccessGenerator
+{
+  public:
+    /**
+     * @param base  region base address
+     * @param nodes number of 64-byte nodes in the cycle
+     * @param seed  permutation seed
+     */
+    PointerChase(uint64_t base, uint64_t nodes, uint64_t seed);
+
+    uint64_t next() override;
+
+  private:
+    uint64_t base_;
+    std::vector<uint32_t> succ_;
+    uint32_t cur_ = 0;
+};
+
+/**
+ * Weighted interleaving of several child streams — models a program
+ * touching several data structures concurrently.
+ */
+class Interleave : public AccessGenerator
+{
+  public:
+    /**
+     * @param children child generators (takes ownership)
+     * @param weights  relative pick weights, one per child
+     * @param seed     RNG seed for the picks
+     */
+    Interleave(std::vector<GeneratorPtr> children,
+               std::vector<uint32_t> weights, uint64_t seed);
+
+    uint64_t next() override;
+
+  private:
+    std::vector<GeneratorPtr> children_;
+    std::vector<uint32_t> cumulative_;
+    uint32_t total_;
+    util::Rng rng_;
+};
+
+/**
+ * Deterministic round-robin interleaving with per-child burst lengths —
+ * models lock-step multi-array kernels (unit-stride FP loops), whose
+ * miss streams are near-perfectly regular.
+ */
+class RoundRobin : public AccessGenerator
+{
+  public:
+    /**
+     * @param children child generators (takes ownership)
+     * @param bursts   consecutive accesses per child per turn
+     */
+    RoundRobin(std::vector<GeneratorPtr> children,
+               std::vector<uint32_t> bursts);
+
+    uint64_t next() override;
+
+  private:
+    std::vector<GeneratorPtr> children_;
+    std::vector<uint32_t> bursts_;
+    size_t cur_ = 0;
+    uint32_t left_;
+};
+
+/**
+ * Phase switching: each child runs exclusively for its phase length,
+ * cycling forever — the structure the lossy compressor exploits.
+ */
+class Phased : public AccessGenerator
+{
+  public:
+    /** One phase: a generator and how many accesses it runs for. */
+    struct Phase
+    {
+        GeneratorPtr gen;
+        uint64_t length;
+    };
+
+    /** @param phases phase list (takes ownership), cycled forever. */
+    explicit Phased(std::vector<Phase> phases);
+
+    uint64_t next() override;
+
+  private:
+    std::vector<Phase> phases_;
+    size_t cur_ = 0;
+    uint64_t left_;
+};
+
+/**
+ * Drifting workload: like a phase, but every @p period accesses the
+ * working region shifts to fresh memory — models allocation-heavy,
+ * unstable programs (gcc/dealII-class) that defeat phase reuse.
+ */
+class Drift : public AccessGenerator
+{
+  public:
+    /**
+     * @param base     first region base
+     * @param region   bytes per region
+     * @param period   accesses before moving to the next region
+     * @param stride   access stride within a region
+     * @param reuse    sweeps per inner window (as LoopNest)
+     * @param seed     randomization seed
+     */
+    Drift(uint64_t base, uint64_t region, uint64_t period, uint64_t stride,
+          uint32_t reuse, uint64_t seed);
+
+    uint64_t next() override;
+
+  private:
+    void advanceRegion();
+
+    uint64_t base_;
+    uint64_t region_;
+    uint64_t period_;
+    uint64_t stride_;
+    uint32_t reuse_;
+    util::Rng rng_;
+    uint64_t region_idx_ = 0;
+    uint64_t left_;
+    GeneratorPtr inner_;
+};
+
+/**
+ * Synthetic instruction-fetch stream: a small set of loop bodies with
+ * phase-dependent switching, fed through the I-cache by the filter.
+ */
+class CodeStream : public AccessGenerator
+{
+  public:
+    /**
+     * @param base        code region base
+     * @param bodies      number of distinct loop bodies
+     * @param body_bytes  size of each body
+     * @param switch_rate average accesses between body switches
+     * @param seed        RNG seed
+     */
+    CodeStream(uint64_t base, uint32_t bodies, uint64_t body_bytes,
+               uint64_t switch_rate, uint64_t seed);
+
+    uint64_t next() override;
+
+  private:
+    uint64_t base_;
+    uint32_t bodies_;
+    uint64_t body_bytes_;
+    uint64_t switch_rate_;
+    util::Rng rng_;
+    uint32_t cur_body_ = 0;
+    uint64_t offset_ = 0;
+};
+
+} // namespace atc::trace
+
+#endif // ATC_TRACE_GENERATORS_HPP_

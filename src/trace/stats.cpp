@@ -1,0 +1,65 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace atc::trace {
+
+double
+TraceStats::totalPlaneEntropy() const
+{
+    double sum = 0.0;
+    for (double e : plane_entropy)
+        sum += e;
+    return sum;
+}
+
+TraceStats
+computeStats(const std::vector<uint64_t> &trace)
+{
+    TraceStats stats;
+    stats.length = trace.size();
+    if (trace.empty())
+        return stats;
+
+    std::unordered_set<uint64_t> uniq;
+    uniq.reserve(trace.size() * 2);
+    stats.min_addr = trace[0];
+    stats.max_addr = trace[0];
+
+    std::array<std::array<uint64_t, 256>, 8> hist{};
+    uint64_t sequential = 0;
+    uint64_t prev = 0;
+    bool have_prev = false;
+    for (uint64_t a : trace) {
+        uniq.insert(a);
+        stats.min_addr = std::min(stats.min_addr, a);
+        stats.max_addr = std::max(stats.max_addr, a);
+        if (have_prev && a == prev + 1)
+            ++sequential;
+        prev = a;
+        have_prev = true;
+        for (int j = 0; j < 8; ++j)
+            hist[j][(a >> (8 * j)) & 0xFF]++;
+    }
+    stats.unique = uniq.size();
+    stats.sequential_fraction =
+        trace.size() > 1
+            ? static_cast<double>(sequential) / (trace.size() - 1)
+            : 0.0;
+
+    for (int j = 0; j < 8; ++j) {
+        double h = 0.0;
+        for (uint64_t c : hist[j]) {
+            if (c == 0)
+                continue;
+            double p = static_cast<double>(c) / trace.size();
+            h -= p * std::log2(p);
+        }
+        stats.plane_entropy[j] = h;
+    }
+    return stats;
+}
+
+} // namespace atc::trace

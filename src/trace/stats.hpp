@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Descriptive statistics of address traces.
+ *
+ * Used by tests to validate that the synthetic suite spans the
+ * behaviour classes the paper's evaluation depends on, and by the
+ * benches to annotate their tables.
+ */
+
+#ifndef ATC_TRACE_STATS_HPP_
+#define ATC_TRACE_STATS_HPP_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace atc::trace {
+
+/** Summary of one address trace. */
+struct TraceStats
+{
+    /** Number of addresses. */
+    uint64_t length = 0;
+    /** Number of distinct addresses. */
+    uint64_t unique = 0;
+    /** Smallest and largest address seen. */
+    uint64_t min_addr = 0;
+    uint64_t max_addr = 0;
+    /** Fraction of addresses equal to previous+1 (sequential blocks). */
+    double sequential_fraction = 0.0;
+    /** Per-byte-plane zeroth-order entropy, bits (plane 0 = LSB). */
+    std::array<double, 8> plane_entropy{};
+
+    /** @return sum of plane entropies: a byte-level compressibility
+     *  ceiling estimate in bits per address. */
+    double totalPlaneEntropy() const;
+};
+
+/** Compute statistics for @p trace. */
+TraceStats computeStats(const std::vector<uint64_t> &trace);
+
+} // namespace atc::trace
+
+#endif // ATC_TRACE_STATS_HPP_

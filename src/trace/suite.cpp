@@ -1,0 +1,378 @@
+#include "trace/suite.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::trace {
+
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+constexpr uint64_t kKiB = 1ull << 10;
+
+/** Code segment base (x86-64 style small-code-model text). */
+constexpr uint64_t kCode = 0x400000;
+
+/** @return base of heap-like region i (64 MiB apart). */
+uint64_t
+heap(int i)
+{
+    return 0x10000000ull + static_cast<uint64_t>(i) * 0x4000000ull;
+}
+
+/** @return base of mmap-like region i (4 GiB apart, high half). */
+uint64_t
+mmapRegion(int i)
+{
+    return 0x7F0000000000ull + static_cast<uint64_t>(i) * 0x100000000ull;
+}
+
+GeneratorPtr
+seq(uint64_t base, uint64_t footprint, uint64_t stride)
+{
+    return std::make_unique<SequentialStream>(base, footprint, stride);
+}
+
+GeneratorPtr
+nest(uint64_t base, uint64_t fp, uint64_t inner, uint32_t reuse,
+     uint64_t stride)
+{
+    return std::make_unique<LoopNest>(base, fp, inner, reuse, stride);
+}
+
+GeneratorPtr
+rnd(uint64_t base, uint64_t fp, uint64_t align, uint64_t seed)
+{
+    return std::make_unique<RandomAccess>(base, fp, align, seed);
+}
+
+GeneratorPtr
+chase(uint64_t base, uint64_t nodes, uint64_t seed)
+{
+    return std::make_unique<PointerChase>(base, nodes, seed);
+}
+
+GeneratorPtr
+mix(std::vector<GeneratorPtr> children, std::vector<uint32_t> weights,
+    uint64_t seed)
+{
+    return std::make_unique<Interleave>(std::move(children),
+                                        std::move(weights), seed);
+}
+
+GeneratorPtr
+rrobin(std::vector<GeneratorPtr> children, std::vector<uint32_t> bursts)
+{
+    return std::make_unique<RoundRobin>(std::move(children),
+                                        std::move(bursts));
+}
+
+GeneratorPtr
+phased(std::vector<Phased::Phase> phases)
+{
+    return std::make_unique<Phased>(std::move(phases));
+}
+
+GeneratorPtr
+drift(uint64_t base, uint64_t region, uint64_t period, uint64_t stride,
+      uint32_t reuse, uint64_t seed)
+{
+    return std::make_unique<Drift>(base, region, period, stride, reuse,
+                                   seed);
+}
+
+/** Helper to build a vector of generator children inline. */
+std::vector<GeneratorPtr>
+gens(GeneratorPtr a, GeneratorPtr b)
+{
+    std::vector<GeneratorPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+}
+
+std::vector<GeneratorPtr>
+gens(GeneratorPtr a, GeneratorPtr b, GeneratorPtr c)
+{
+    std::vector<GeneratorPtr> v = gens(std::move(a), std::move(b));
+    v.push_back(std::move(c));
+    return v;
+}
+
+std::vector<GeneratorPtr>
+gens(GeneratorPtr a, GeneratorPtr b, GeneratorPtr c, GeneratorPtr d)
+{
+    std::vector<GeneratorPtr> v = gens(std::move(a), std::move(b),
+                                       std::move(c));
+    v.push_back(std::move(d));
+    return v;
+}
+
+std::vector<GeneratorPtr>
+gens(GeneratorPtr a, GeneratorPtr b, GeneratorPtr c, GeneratorPtr d,
+     GeneratorPtr e)
+{
+    std::vector<GeneratorPtr> v = gens(std::move(a), std::move(b),
+                                       std::move(c), std::move(d));
+    v.push_back(std::move(e));
+    return v;
+}
+
+std::vector<Phased::Phase>
+twoPhases(GeneratorPtr a, uint64_t la, GeneratorPtr b, uint64_t lb)
+{
+    std::vector<Phased::Phase> v;
+    v.push_back({std::move(a), la});
+    v.push_back({std::move(b), lb});
+    return v;
+}
+
+/** Build the data generator for model index @p id. */
+GeneratorPtr
+buildData(int id, uint64_t s)
+{
+    // NOTE on weights: the cache filter amplifies high-miss-rate
+    // components. A component's share of the *filtered* trace is
+    // proportional to weight x miss-rate, where streams at stride s
+    // miss about s/64 of accesses and random/chasing components with
+    // large footprints miss almost always. Weights below are chosen for
+    // the intended post-filter mix, not the access mix.
+    switch (id) {
+      case 0: // 400.perlbench — phased interpreter: nests + hashes
+        return phased(twoPhases(
+            rrobin(gens(nest(heap(0), 8 * kMiB, 256 * kKiB, 4, 8),
+                        rnd(heap(1), 2 * kMiB, 16, s + 1),
+                        seq(heap(2), kMiB, 8)),
+                   {32, 1, 8}),
+            3'000'000,
+            rrobin(gens(nest(heap(0), 8 * kMiB, 64 * kKiB, 2, 16),
+                        chase(heap(3), 32768, s + 3)),
+                   {16, 2}),
+            2'000'000));
+      case 1: // 401.bzip2 — block sort I/O streams + work arrays
+        return rrobin(gens(seq(heap(0), 8 * kMiB, 1),
+                           seq(heap(1), 8 * kMiB, 1),
+                           rnd(heap(2), 512 * kKiB, 4, s + 1)),
+                      {64, 64, 1});
+      case 2: // 403.gcc — allocation-heavy, drifting footprint
+        return rrobin(gens(drift(mmapRegion(0), 2 * kMiB, 1'500'000, 16,
+                                 2, s + 1),
+                           rnd(heap(0), kMiB, 8, s + 2)),
+                      {48, 1});
+      case 3: // 410.bwaves — five large FP streams, lock-step
+        return rrobin(gens(seq(mmapRegion(0), 8 * kMiB, 8),
+                           seq(mmapRegion(1), 8 * kMiB, 8),
+                           seq(mmapRegion(2), 8 * kMiB, 8),
+                           seq(mmapRegion(3), 8 * kMiB, 8),
+                           seq(mmapRegion(4), 8 * kMiB, 8)),
+                      {8, 8, 8, 8, 8});
+      case 4: // 429.mcf — pointer chasing over the arc network
+        return rrobin(gens(chase(mmapRegion(0), 65536, s + 1),
+                           chase(heap(0), 32768, s + 2),
+                           seq(heap(1), 2 * kMiB, 8)),
+                      {8, 1, 2});
+      case 5: // 433.milc — lattice QCD streams, lock-step
+        return rrobin(gens(seq(mmapRegion(0), 16 * kMiB, 16),
+                           seq(mmapRegion(1), 16 * kMiB, 16),
+                           seq(mmapRegion(2), 16 * kMiB, 16),
+                           seq(mmapRegion(3), 16 * kMiB, 16),
+                           rnd(heap(0), kMiB, 16, s + 1)),
+                      {32, 32, 32, 32, 1});
+      case 6: // 434.zeusmp — blocked stencil arrays, lock-step
+        return rrobin(gens(nest(mmapRegion(0), 8 * kMiB, 512 * kKiB, 4, 8),
+                           nest(mmapRegion(1), 8 * kMiB, 512 * kKiB, 4, 8),
+                           nest(mmapRegion(2), 8 * kMiB, 512 * kKiB, 4, 8)),
+                      {8, 8, 8});
+      case 7: // 435.gromacs — wide-stride particle sweeps + local nest
+        return rrobin(gens(seq(mmapRegion(0), 48 * kMiB, 192),
+                           seq(mmapRegion(1), 24 * kMiB, 192),
+                           nest(heap(0), 8 * kMiB, 32 * kKiB, 8, 4)),
+                      {16, 16, 32});
+      case 8: // 444.namd — particle interactions
+        return mix(gens(rnd(heap(0), kMiB, 64, s + 1),
+                        nest(heap(1), 2 * kMiB, 256 * kKiB, 2, 16),
+                        chase(heap(2), 65536, s + 2)),
+                   {1, 8, 1}, s + 3);
+      case 9: // 445.gobmk — board evaluation, phased search
+        return phased(twoPhases(
+            mix(gens(rnd(heap(0), 512 * kKiB, 8, s + 1),
+                     nest(heap(1), 2 * kMiB, 128 * kKiB, 4, 8)),
+                {1, 16}, s + 2),
+            2'500'000,
+            chase(heap(2), 65536, s + 3), 1'500'000));
+      case 10: // 447.dealII — adaptive meshes, slow drift
+        return mix(gens(drift(mmapRegion(0), 4 * kMiB, 4'000'000, 8, 4,
+                              s + 1),
+                        nest(heap(0), 2 * kMiB, 256 * kKiB, 2, 8)),
+                   {12, 2}, s + 2);
+      case 11: // 450.soplex — sparse LP: row and column sweeps
+        return phased(twoPhases(
+            seq(mmapRegion(0), 16 * kMiB, 1024), 2'000'000,
+            rrobin(gens(seq(mmapRegion(0), 16 * kMiB, 8),
+                        rnd(heap(0), 4 * kMiB, 8, s + 1)),
+                   {16, 1}),
+            2'000'000));
+      case 12: // 453.povray — tiny working set, periodic capacity misses
+        return rrobin(gens(nest(heap(0), 128 * kKiB, 128 * kKiB, 64, 1),
+                           rnd(heap(1), 16 * kKiB, 16, s + 1)),
+                      {256, 4});
+      case 13: // 456.hmmer — banded dynamic programming, lock-step
+        return rrobin(gens(nest(heap(0), kMiB, 128 * kKiB, 4, 2),
+                           seq(heap(1), 4 * kMiB, 4)),
+                      {8, 8});
+      case 14: // 458.sjeng — hash probes over a transposition table
+        return mix(gens(rnd(mmapRegion(0), 2 * kMiB, 64, s + 1),
+                        nest(heap(0), kMiB, 64 * kKiB, 4, 8)),
+                   {1, 8}, s + 2);
+      case 15: // 462.libquantum — one long vector stream
+        return rrobin(gens(seq(mmapRegion(0), 32 * kMiB, 16),
+                           seq(heap(0), 512 * kKiB, 16)),
+                      {128, 2});
+      case 16: // 464.h264ref — motion search blocks + frame streams
+        return rrobin(gens(nest(heap(0), 2 * kMiB, 16 * kKiB, 8, 8),
+                           seq(mmapRegion(0), 4 * kMiB, 8),
+                           rnd(heap(1), 4 * kMiB, 16, s + 1)),
+                      {32, 32, 1});
+      case 17: // 470.lbm — two lattice streams, lock-step
+        return rrobin(gens(seq(mmapRegion(0), 16 * kMiB, 8),
+                           seq(mmapRegion(1), 16 * kMiB, 8)),
+                      {16, 16});
+      case 18: // 471.omnetpp — event queue pointer soup
+        return rrobin(gens(chase(heap(0), 65536, s + 1),
+                           rnd(heap(1), kMiB, 32, s + 2),
+                           nest(heap(2), kMiB, 64 * kKiB, 8, 4)),
+                      {8, 1, 16});
+      case 19: // 473.astar — graph search over a grid
+        return mix(gens(chase(mmapRegion(0), 131072, s + 1),
+                        rnd(heap(0), 4 * kMiB, 32, s + 2)),
+                   {3, 2}, s + 3);
+      case 20: // 482.sphinx3 — acoustic model streams + senone lookups
+        return rrobin(gens(seq(mmapRegion(0), 64 * kMiB, 4),
+                           seq(mmapRegion(1), 32 * kMiB, 2)),
+                      {64, 128});
+      case 21: // 483.xalancbmk — DOM pointer chasing + string copies
+        return phased(twoPhases(
+            rrobin(gens(chase(heap(0), 131072, s + 1),
+                        nest(heap(1), 4 * kMiB, 32 * kKiB, 2, 8)),
+                   {4, 16}),
+            2'000'000,
+            rrobin(gens(seq(heap(2), 2 * kMiB, 8),
+                        chase(heap(0), 131072, s + 3)),
+                   {16, 2}),
+            1'500'000));
+      default:
+        ATC_ASSERT(false && "unknown benchmark model");
+        return nullptr;
+    }
+}
+
+struct ModelSpec
+{
+    const char *name;
+    const char *klass;
+    double instr_fraction;
+    uint32_t code_bodies;  // distinct loop bodies in the code stream
+    uint64_t code_body_kb; // size of each body
+};
+
+const ModelSpec kModels[22] = {
+    {"400.perlbench", "mixed", 0.35, 48, 24},
+    {"401.bzip2", "regular", 0.20, 6, 8},
+    {"403.gcc", "unstable", 0.35, 64, 32},
+    {"410.bwaves", "stream", 0.10, 3, 8},
+    {"429.mcf", "random", 0.15, 4, 8},
+    {"433.milc", "stream", 0.10, 4, 8},
+    {"434.zeusmp", "regular", 0.12, 5, 8},
+    {"435.gromacs", "regular", 0.15, 8, 8},
+    {"444.namd", "regular", 0.12, 6, 8},
+    {"445.gobmk", "mixed", 0.40, 40, 24},
+    {"447.dealII", "unstable", 0.25, 32, 16},
+    {"450.soplex", "regular", 0.15, 8, 8},
+    {"453.povray", "mixed", 0.30, 4, 8},
+    {"456.hmmer", "regular", 0.15, 4, 8},
+    {"458.sjeng", "random", 0.35, 24, 16},
+    {"462.libquantum", "stream", 0.10, 2, 4},
+    {"464.h264ref", "regular", 0.20, 12, 16},
+    {"470.lbm", "stream", 0.08, 2, 4},
+    {"471.omnetpp", "mixed", 0.30, 32, 16},
+    {"473.astar", "random", 0.20, 8, 8},
+    {"482.sphinx3", "stream", 0.15, 10, 8},
+    {"483.xalancbmk", "mixed", 0.35, 48, 24},
+};
+
+} // namespace
+
+GeneratorPtr
+SyntheticBenchmark::makeData(uint64_t seed) const
+{
+    return buildData(model_, seed * 1000003ull + 17);
+}
+
+GeneratorPtr
+SyntheticBenchmark::makeCode(uint64_t seed) const
+{
+    const ModelSpec &spec = kModels[model_];
+    return std::make_unique<CodeStream>(kCode, spec.code_bodies,
+                                        spec.code_body_kb * kKiB, 3000,
+                                        seed * 2000003ull + 29);
+}
+
+const std::vector<SyntheticBenchmark> &
+syntheticSuite()
+{
+    static const std::vector<SyntheticBenchmark> suite = [] {
+        std::vector<SyntheticBenchmark> v;
+        for (int i = 0; i < 22; ++i) {
+            SyntheticBenchmark b;
+            b.name = kModels[i].name;
+            b.klass = kModels[i].klass;
+            b.instr_fraction = kModels[i].instr_fraction;
+            b.model_ = i;
+            v.push_back(std::move(b));
+        }
+        return v;
+    }();
+    return suite;
+}
+
+const SyntheticBenchmark &
+benchmarkByName(const std::string &name)
+{
+    for (const SyntheticBenchmark &b : syntheticSuite()) {
+        if (b.name == name)
+            return b;
+    }
+    util::raise("unknown benchmark: " + name);
+}
+
+std::vector<uint64_t>
+collectFilteredTrace(const SyntheticBenchmark &bench, size_t count,
+                     uint64_t seed, const cache::CacheConfig &l1)
+{
+    std::vector<uint64_t> out;
+    out.reserve(count);
+
+    cache::CacheFilter filter(l1);
+    GeneratorPtr data = bench.makeData(seed);
+    GeneratorPtr code = bench.makeCode(seed ^ 0x5DEECE66Dull);
+    util::Rng pick(seed * 31 + 7);
+
+    // Threshold for a 32-bit draw to select an instruction fetch.
+    uint64_t threshold =
+        static_cast<uint64_t>(bench.instr_fraction * 4294967296.0);
+
+    // Safety valve: a benchmark whose miss ratio collapses would
+    // otherwise spin forever.
+    uint64_t max_accesses = static_cast<uint64_t>(count) * 8192 + (1 << 20);
+    uint64_t accesses = 0;
+    while (out.size() < count) {
+        ATC_CHECK(accesses++ < max_accesses,
+                  "benchmark miss rate too low to collect trace");
+        bool is_instr = (pick.next() >> 32) < threshold;
+        uint64_t addr = is_instr ? code->next() : data->next();
+        if (auto miss = filter.access(addr, is_instr))
+            out.push_back(*miss);
+    }
+    return out;
+}
+
+} // namespace atc::trace

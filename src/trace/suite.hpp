@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2006-like workload suite.
+ *
+ * The paper evaluates on 22 SPEC CPU2006 benchmarks traced with Pin.
+ * Neither SPEC nor Pin is available offline, so each benchmark is
+ * modelled by a composition of access-pattern generators chosen to
+ * match its qualitative memory-behaviour class (see DESIGN.md §2):
+ *
+ *  - stream  : large sequential sweeps; near-zero lossless BPA
+ *              (410.bwaves, 433.milc, 462.libquantum, 470.lbm)
+ *  - random  : random/pointer-chasing in a big footprint; lossless-hard
+ *              but phase-stationary, so lossy-friendly (429, 458, 473)
+ *  - regular : strided loop nests over several regions (401, 434, 435,
+ *              444, 445, 456)
+ *  - unstable: drifting footprints that defeat phase reuse (403, 447)
+ *  - mixed   : combinations with code-stream influence (the rest)
+ *
+ * Every generator is deterministic given (benchmark, seed), so the
+ * whole evaluation is reproducible.
+ */
+
+#ifndef ATC_TRACE_SUITE_HPP_
+#define ATC_TRACE_SUITE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/filter.hpp"
+#include "trace/generators.hpp"
+
+namespace atc::trace {
+
+/** One synthetic benchmark: a named workload model. */
+struct SyntheticBenchmark
+{
+    /** SPEC-style name, e.g. "429.mcf". */
+    std::string name;
+    /** Behaviour class tag: stream/random/regular/unstable/mixed. */
+    std::string klass;
+    /** Fraction of accesses that are instruction fetches (0..1). */
+    double instr_fraction;
+
+    /** Build the data-access generator for this benchmark. */
+    GeneratorPtr makeData(uint64_t seed) const;
+
+    /** Build the instruction-fetch generator for this benchmark. */
+    GeneratorPtr makeCode(uint64_t seed) const;
+
+  private:
+    friend const std::vector<SyntheticBenchmark> &syntheticSuite();
+    int model_ = 0; // index into the internal model table
+};
+
+/** @return the 22-entry suite, ordered as in the paper's Table 1. */
+const std::vector<SyntheticBenchmark> &syntheticSuite();
+
+/** Look up a suite entry by name; throws util::Error if unknown. */
+const SyntheticBenchmark &benchmarkByName(const std::string &name);
+
+/**
+ * Run a benchmark through the L1 I/D filter and collect its
+ * cache-filtered block-address trace — the paper's input format.
+ *
+ * @param bench benchmark model
+ * @param count number of filtered addresses to collect
+ * @param seed  determinism seed
+ * @param l1    filter configuration (paper defaults)
+ * @return `count` 64-bit block addresses (6 MSBs zero)
+ */
+std::vector<uint64_t> collectFilteredTrace(
+    const SyntheticBenchmark &bench, size_t count, uint64_t seed = 1,
+    const cache::CacheConfig &l1 = cache::CacheConfig::paperL1());
+
+} // namespace atc::trace
+
+#endif // ATC_TRACE_SUITE_HPP_

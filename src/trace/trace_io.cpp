@@ -1,0 +1,66 @@
+#include "trace/trace_io.hpp"
+
+#include "util/status.hpp"
+
+namespace atc::trace {
+
+void
+writeRaw(const std::vector<uint64_t> &addrs, util::ByteSink &sink)
+{
+    for (uint64_t a : addrs)
+        util::writeLE<uint64_t>(sink, a);
+}
+
+std::vector<uint64_t>
+readRaw(util::ByteSource &src)
+{
+    std::vector<uint64_t> out;
+    uint8_t buf[8];
+    for (;;) {
+        size_t got = src.read(buf, 8);
+        if (got == 0)
+            break;
+        if (got < 8)
+            src.readExact(buf + got, 8 - got);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+        out.push_back(v);
+    }
+    return out;
+}
+
+void
+saveRawFile(const std::vector<uint64_t> &addrs, const std::string &path)
+{
+    util::FileSink sink(path);
+    writeRaw(addrs, sink);
+    sink.close();
+}
+
+std::vector<uint64_t>
+loadRawFile(const std::string &path)
+{
+    util::FileSource src(path);
+    return readRaw(src);
+}
+
+std::vector<uint8_t>
+toBytes(const std::vector<uint64_t> &addrs)
+{
+    std::vector<uint8_t> out;
+    out.reserve(addrs.size() * 8);
+    util::VectorSink sink(out);
+    writeRaw(addrs, sink);
+    return out;
+}
+
+std::vector<uint64_t>
+fromBytes(const std::vector<uint8_t> &bytes)
+{
+    ATC_CHECK(bytes.size() % 8 == 0, "trace byte image not a u64 multiple");
+    util::MemorySource src(bytes);
+    return readRaw(src);
+}
+
+} // namespace atc::trace

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Raw address-trace I/O.
+ *
+ * The paper's uncompressed trace format: a flat sequence of 64-bit
+ * little-endian values (8 bytes per address). These helpers move traces
+ * between memory and byte streams/files.
+ */
+
+#ifndef ATC_TRACE_TRACE_IO_HPP_
+#define ATC_TRACE_TRACE_IO_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytestream.hpp"
+
+namespace atc::trace {
+
+/** Serialize addresses as raw little-endian u64 into @p sink. */
+void writeRaw(const std::vector<uint64_t> &addrs, util::ByteSink &sink);
+
+/** Read every address from @p src until end of stream. */
+std::vector<uint64_t> readRaw(util::ByteSource &src);
+
+/** Write a raw trace file (8 bytes per address). */
+void saveRawFile(const std::vector<uint64_t> &addrs,
+                 const std::string &path);
+
+/** Load a raw trace file; throws util::Error on short files. */
+std::vector<uint64_t> loadRawFile(const std::string &path);
+
+/** Reinterpret addresses as their raw byte image (for codecs). */
+std::vector<uint8_t> toBytes(const std::vector<uint64_t> &addrs);
+
+/** Inverse of toBytes; @p bytes must be a multiple of 8 long. */
+std::vector<uint64_t> fromBytes(const std::vector<uint8_t> &bytes);
+
+} // namespace atc::trace
+
+#endif // ATC_TRACE_TRACE_IO_HPP_

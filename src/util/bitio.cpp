@@ -1,0 +1,6 @@
+#include "util/bitio.hpp"
+
+// Implementation is header-only; this translation unit anchors the
+// library target and keeps the header honest (self-contained).
+namespace atc::util {
+} // namespace atc::util

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bit-granular writer/reader on top of byte streams.
+ *
+ * Used by the Huffman coders. Bits are packed MSB-first within each
+ * byte, which keeps canonical-Huffman codes comparable as integers.
+ */
+
+#ifndef ATC_UTIL_BITIO_HPP_
+#define ATC_UTIL_BITIO_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytestream.hpp"
+#include "util/status.hpp"
+
+namespace atc::util {
+
+/** MSB-first bit writer accumulating into a ByteSink. */
+class BitWriter
+{
+  public:
+    /** Write into @p sink, which must outlive the writer. */
+    explicit BitWriter(ByteSink &sink) : sink_(sink) {}
+
+    /** Append the low @p nbits bits of @p value, MSB of the field first. */
+    void
+    writeBits(uint32_t value, int nbits)
+    {
+        ATC_ASSERT(nbits >= 0 && nbits <= 32);
+        for (int i = nbits - 1; i >= 0; --i) {
+            acc_ = (acc_ << 1) | ((value >> i) & 1u);
+            if (++fill_ == 8) {
+                sink_.writeByte(static_cast<uint8_t>(acc_));
+                acc_ = 0;
+                fill_ = 0;
+            }
+        }
+        bits_ += static_cast<uint64_t>(nbits);
+    }
+
+    /** Append a single bit. */
+    void writeBit(uint32_t bit) { writeBits(bit & 1u, 1); }
+
+    /** Pad with zero bits to the next byte boundary and flush. */
+    void
+    alignAndFlush()
+    {
+        if (fill_ > 0) {
+            acc_ <<= (8 - fill_);
+            sink_.writeByte(static_cast<uint8_t>(acc_));
+            bits_ += static_cast<uint64_t>(8 - fill_);
+            acc_ = 0;
+            fill_ = 0;
+        }
+    }
+
+    /** @return total bits written (including alignment padding). */
+    uint64_t bitCount() const { return bits_; }
+
+  private:
+    ByteSink &sink_;
+    uint32_t acc_ = 0;
+    int fill_ = 0;
+    uint64_t bits_ = 0;
+};
+
+/** MSB-first bit reader over a ByteSource. */
+class BitReader
+{
+  public:
+    /** Read from @p src, which must outlive the reader. */
+    explicit BitReader(ByteSource &src) : src_(src) {}
+
+    /** Read @p nbits bits, MSB of the field first; throws on truncation. */
+    uint32_t
+    readBits(int nbits)
+    {
+        ATC_ASSERT(nbits >= 0 && nbits <= 32);
+        uint32_t value = 0;
+        for (int i = 0; i < nbits; ++i)
+            value = (value << 1) | readBit();
+        return value;
+    }
+
+    /** Read a single bit; throws on truncation. */
+    uint32_t
+    readBit()
+    {
+        if (fill_ == 0) {
+            src_.readExact(&acc_, 1);
+            fill_ = 8;
+        }
+        --fill_;
+        return (acc_ >> fill_) & 1u;
+    }
+
+    /** Discard bits up to the next byte boundary. */
+    void align() { fill_ = 0; }
+
+  private:
+    ByteSource &src_;
+    uint8_t acc_ = 0;
+    int fill_ = 0;
+};
+
+} // namespace atc::util
+
+#endif // ATC_UTIL_BITIO_HPP_

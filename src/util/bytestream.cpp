@@ -1,0 +1,90 @@
+#include "util/bytestream.hpp"
+
+namespace atc::util {
+
+FileSink::FileSink(const std::string &path)
+{
+    fp_ = std::fopen(path.c_str(), "wb");
+    if (!fp_)
+        raise("cannot open for writing: " + path);
+}
+
+FileSink::~FileSink()
+{
+    if (fp_)
+        std::fclose(fp_);
+}
+
+void
+FileSink::write(const uint8_t *data, size_t n)
+{
+    ATC_ASSERT(fp_ != nullptr);
+    if (n > 0 && std::fwrite(data, 1, n, fp_) != n)
+        raise("file write failed");
+    written_ += n;
+}
+
+void
+FileSink::flush()
+{
+    if (fp_)
+        std::fflush(fp_);
+}
+
+void
+FileSink::close()
+{
+    if (fp_) {
+        std::fclose(fp_);
+        fp_ = nullptr;
+    }
+}
+
+FileSource::FileSource(const std::string &path)
+{
+    fp_ = std::fopen(path.c_str(), "rb");
+    if (!fp_)
+        raise("cannot open for reading: " + path);
+}
+
+FileSource::~FileSource()
+{
+    if (fp_)
+        std::fclose(fp_);
+}
+
+size_t
+FileSource::read(uint8_t *data, size_t n)
+{
+    ATC_ASSERT(fp_ != nullptr);
+    return std::fread(data, 1, n, fp_);
+}
+
+void
+writeVarint(ByteSink &sink, uint64_t value)
+{
+    while (value >= 0x80) {
+        sink.writeByte(static_cast<uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    sink.writeByte(static_cast<uint8_t>(value));
+}
+
+uint64_t
+readVarint(ByteSource &src)
+{
+    uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t b;
+        src.readExact(&b, 1);
+        if (shift >= 63 && (b & 0x7E))
+            raise("varint overflow");
+        value |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return value;
+        shift += 7;
+    }
+}
+
+} // namespace atc::util

@@ -1,0 +1,49 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace atc::util {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> &
+table()
+{
+    static const std::array<uint32_t, 256> t = makeTable();
+    return t;
+}
+
+} // namespace
+
+void
+Crc32::update(const uint8_t *data, size_t n)
+{
+    const auto &t = table();
+    uint32_t c = state_;
+    for (size_t i = 0; i < n; ++i)
+        c = t[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    state_ = c;
+}
+
+uint32_t
+crc32(const uint8_t *data, size_t n)
+{
+    Crc32 crc;
+    crc.update(data, n);
+    return crc.value();
+}
+
+} // namespace atc::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * xoshiro256** — fast, high quality, and stable across platforms, so
+ * the synthetic SPEC-like traces are reproducible bit-for-bit.
+ */
+
+#ifndef ATC_UTIL_RNG_HPP_
+#define ATC_UTIL_RNG_HPP_
+
+#include <cstdint>
+
+namespace atc::util {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : s_) {
+            // splitmix64 step
+            x += 0x9E3779B97F4A7C15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next 64 uniform random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough bounded draw. The tiny
+        // modulo bias is irrelevant for workload synthesis.
+        return next() % bound;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+};
+
+} // namespace atc::util
+
+#endif // ATC_UTIL_RNG_HPP_

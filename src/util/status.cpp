@@ -1,0 +1,15 @@
+#include "util/status.hpp"
+
+#include <cstdio>
+
+namespace atc::util {
+
+void
+assertFail(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "ATC_ASSERT failed: %s at %s:%d\n",
+                 expr, file, line);
+    std::abort();
+}
+
+} // namespace atc::util

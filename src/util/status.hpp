@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error-handling primitives shared by all ATC libraries.
+ *
+ * Two regimes, per the gem5 fatal/panic distinction:
+ *  - user-level failures (bad file, corrupt stream, invalid parameters)
+ *    are reported through atc::util::Status / StatusOr or thrown as
+ *    atc::util::Error, so callers can recover;
+ *  - internal invariant violations use ATC_ASSERT and abort.
+ */
+
+#ifndef ATC_UTIL_STATUS_HPP_
+#define ATC_UTIL_STATUS_HPP_
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace atc::util {
+
+/** Exception type for user-level failures (I/O errors, corrupt data). */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Lightweight success/error result for APIs that prefer explicit
+ * status propagation over exceptions.
+ */
+class Status
+{
+  public:
+    /** Construct a success status. */
+    Status() = default;
+
+    /** Construct an error status carrying @p msg. */
+    static Status
+    error(std::string msg)
+    {
+        Status s;
+        s.ok_ = false;
+        s.msg_ = std::move(msg);
+        return s;
+    }
+
+    /** @return true if the operation succeeded. */
+    bool ok() const { return ok_; }
+
+    /** @return the error message (empty on success). */
+    const std::string &message() const { return msg_; }
+
+    /** Throw Error if this status is not ok. */
+    void
+    orThrow() const
+    {
+        if (!ok_)
+            throw Error(msg_);
+    }
+
+  private:
+    bool ok_ = true;
+    std::string msg_;
+};
+
+[[noreturn]] void assertFail(const char *expr, const char *file, int line);
+
+/** Raise a user-level error with a formatted message. */
+[[noreturn]] inline void
+raise(const std::string &msg)
+{
+    throw Error(msg);
+}
+
+} // namespace atc::util
+
+/** Internal invariant check; aborts on violation (a bug, not user error). */
+#define ATC_ASSERT(expr)                                                     \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::atc::util::assertFail(#expr, __FILE__, __LINE__);              \
+    } while (0)
+
+/** User-level validation; throws atc::util::Error on violation. */
+#define ATC_CHECK(expr, msg)                                                 \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::atc::util::raise(std::string("check failed: ") + (msg));       \
+    } while (0)
+
+#endif // ATC_UTIL_STATUS_HPP_

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end tests of the ATC container: AtcWriter/AtcReader in both
+ * modes, the directory layout, and INFO integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "atc/atc.hpp"
+#include "trace/suite.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::AtcOptions
+losslessOptions()
+{
+    core::AtcOptions opt;
+    opt.mode = core::Mode::Lossless;
+    opt.pipeline.buffer_addrs = 1000;
+    opt.pipeline.codec_block = 64 * 1024;
+    return opt;
+}
+
+core::AtcOptions
+lossyOptions(uint64_t interval_len)
+{
+    core::AtcOptions opt;
+    opt.mode = core::Mode::Lossy;
+    opt.lossy.interval_len = interval_len;
+    opt.pipeline.buffer_addrs = std::max<uint64_t>(interval_len / 4, 16);
+    opt.pipeline.codec_block = 64 * 1024;
+    return opt;
+}
+
+std::vector<uint64_t>
+roundTrip(core::ChunkStore &store, const core::AtcOptions &opt,
+          const std::vector<uint64_t> &trace)
+{
+    core::AtcWriter writer(store, opt);
+    for (uint64_t a : trace)
+        writer.code(a);
+    writer.close();
+
+    core::AtcReader reader(store);
+    std::vector<uint64_t> out;
+    uint64_t v;
+    while (reader.decode(&v))
+        out.push_back(v);
+    EXPECT_EQ(reader.count(), trace.size());
+    return out;
+}
+
+TEST(AtcContainer, LosslessRoundTripMemory)
+{
+    util::Rng rng(1);
+    std::vector<uint64_t> trace(12345);
+    for (auto &v : trace)
+        v = rng.next() >> 6;
+    core::MemoryStore store;
+    EXPECT_EQ(roundTrip(store, losslessOptions(), trace), trace);
+}
+
+TEST(AtcContainer, EmptyTraceBothModes)
+{
+    for (auto opt : {losslessOptions(), lossyOptions(100)}) {
+        core::MemoryStore store;
+        EXPECT_TRUE(roundTrip(store, opt, {}).empty());
+    }
+}
+
+TEST(AtcContainer, ModeAutoDetected)
+{
+    std::vector<uint64_t> trace(500, 7);
+    {
+        core::MemoryStore store;
+        core::AtcWriter w(store, losslessOptions());
+        for (auto a : trace)
+            w.code(a);
+        w.close();
+        core::AtcReader r(store);
+        EXPECT_EQ(r.mode(), core::Mode::Lossless);
+    }
+    {
+        core::MemoryStore store;
+        core::AtcWriter w(store, lossyOptions(100));
+        for (auto a : trace)
+            w.code(a);
+        w.close();
+        core::AtcReader r(store);
+        EXPECT_EQ(r.mode(), core::Mode::Lossy);
+    }
+}
+
+TEST(AtcContainer, DirectoryLayoutMatchesOriginalTool)
+{
+    // Figure 8: chunks named <n>.<suffix> from 1, plus INFO.<suffix>.
+    std::string dir = testing::TempDir() + "/atc_dir_test";
+    fs::remove_all(dir);
+
+    util::Rng rng(2);
+    std::vector<uint64_t> trace(4000);
+    for (auto &v : trace)
+        v = rng.next();
+
+    {
+        core::AtcWriter writer(dir, lossyOptions(1000));
+        for (uint64_t a : trace)
+            writer.code(a);
+        writer.close();
+    }
+    EXPECT_TRUE(fs::exists(dir + "/1.bwc"));
+    EXPECT_TRUE(fs::exists(dir + "/INFO.bwc"));
+
+    core::AtcReader reader(dir);
+    std::vector<uint64_t> out;
+    uint64_t v;
+    while (reader.decode(&v))
+        out.push_back(v);
+    EXPECT_EQ(out.size(), trace.size());
+    fs::remove_all(dir);
+}
+
+TEST(AtcContainer, LosslessDirectoryRoundTrip)
+{
+    std::string dir = testing::TempDir() + "/atc_dir_lossless";
+    fs::remove_all(dir);
+    auto trace = trace::collectFilteredTrace(
+        trace::benchmarkByName("453.povray"), 20000, 3);
+    {
+        core::AtcWriter writer(dir, losslessOptions());
+        for (uint64_t a : trace)
+            writer.code(a);
+        writer.close();
+    }
+    core::AtcReader reader(dir);
+    std::vector<uint64_t> out;
+    uint64_t v;
+    while (reader.decode(&v))
+        out.push_back(v);
+    EXPECT_EQ(out, trace);
+    fs::remove_all(dir);
+}
+
+TEST(AtcContainer, Figure8RandomValuesScenario)
+{
+    // 1M random values, lossy: one chunk, ratio ~10, exact length.
+    util::Rng rng(4);
+    const size_t n = 1'000'000;
+    core::MemoryStore store;
+    auto opt = lossyOptions(n / 10);
+    opt.pipeline.buffer_addrs = n / 100;
+    core::AtcWriter writer(store, opt);
+    for (size_t i = 0; i < n; ++i)
+        writer.code(rng.next());
+    writer.close();
+
+    EXPECT_EQ(store.chunkCount(), 1u);
+    double ratio = 8.0 * n / store.totalBytes();
+    EXPECT_NEAR(ratio, 10.0, 0.5);
+
+    core::AtcReader reader(store);
+    size_t count = 0;
+    uint64_t v;
+    while (reader.decode(&v))
+        ++count;
+    EXPECT_EQ(count, n);
+}
+
+TEST(AtcContainer, LosslessModeIsExactOnEveryBenchmarkClass)
+{
+    for (const char *name : {"410.bwaves", "429.mcf", "403.gcc",
+                             "453.povray", "483.xalancbmk"}) {
+        auto trace = trace::collectFilteredTrace(
+            trace::benchmarkByName(name), 30000, 5);
+        core::MemoryStore store;
+        EXPECT_EQ(roundTrip(store, losslessOptions(), trace), trace)
+            << name;
+    }
+}
+
+TEST(AtcContainer, AlternativeCodecSuffix)
+{
+    std::string dir = testing::TempDir() + "/atc_dir_lzh";
+    fs::remove_all(dir);
+    auto opt = losslessOptions();
+    opt.pipeline.codec = "lzh";
+    std::vector<uint64_t> trace(3000);
+    util::Rng rng(6);
+    for (auto &v : trace)
+        v = rng.next() >> 30;
+    {
+        core::AtcWriter writer(dir, opt);
+        for (uint64_t a : trace)
+            writer.code(a);
+        writer.close();
+    }
+    EXPECT_TRUE(fs::exists(dir + "/1.lzh"));
+    EXPECT_TRUE(fs::exists(dir + "/INFO.lzh"));
+    core::AtcReader reader(dir, "lzh");
+    std::vector<uint64_t> out;
+    uint64_t v;
+    while (reader.decode(&v))
+        out.push_back(v);
+    EXPECT_EQ(out, trace);
+    fs::remove_all(dir);
+}
+
+TEST(AtcContainer, CorruptInfoRejected)
+{
+    core::MemoryStore store;
+    {
+        core::AtcWriter w(store, losslessOptions());
+        w.code(1);
+        w.close();
+    }
+    // Clobber the INFO magic.
+    auto info = store.infoBytes();
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        info[0] ^= 0xFF;
+        sink->write(info.data(), info.size());
+    }
+    EXPECT_THROW(core::AtcReader reader(bad), util::Error);
+}
+
+TEST(AtcContainer, MissingInfoRejected)
+{
+    std::string dir = testing::TempDir() + "/atc_dir_empty";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    EXPECT_THROW(core::AtcReader reader(dir), util::Error);
+    fs::remove_all(dir);
+}
+
+TEST(AtcContainer, TaggedAddressesSurviveLossless)
+{
+    // Paper §2: the 6 null MSBs may carry tags (demand vs write-back).
+    std::vector<uint64_t> trace;
+    util::Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t block = rng.next() >> 6;
+        uint64_t tag = rng.below(2) ? (1ull << 63) : 0;
+        trace.push_back(block | tag);
+    }
+    core::MemoryStore store;
+    EXPECT_EQ(roundTrip(store, losslessOptions(), trace), trace);
+}
+
+TEST(AtcContainer, WriterCountsValues)
+{
+    core::MemoryStore store;
+    core::AtcWriter w(store, losslessOptions());
+    for (int i = 0; i < 777; ++i)
+        w.code(i);
+    EXPECT_EQ(w.count(), 777u);
+    w.close();
+}
+
+TEST(AtcContainer, LossyStatsExposed)
+{
+    core::MemoryStore store;
+    core::AtcWriter w(store, lossyOptions(100));
+    util::Rng rng(8);
+    for (int i = 0; i < 1000; ++i)
+        w.code(rng.next());
+    w.close();
+    EXPECT_EQ(w.lossyStats().intervals, 10u);
+    EXPECT_EQ(w.lossyStats().addresses, 1000u);
+}
+
+TEST(AtcContainer, LossyStatsRequireLossyMode)
+{
+    core::MemoryStore store;
+    core::AtcWriter w(store, losslessOptions());
+    EXPECT_THROW(w.lossyStats(), util::Error);
+    w.code(1);
+    w.close();
+}
+
+} // namespace
+} // namespace atc

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the cache model, the I/D filter, and the Cheetah-style
+ * stack-distance simulator (including cross-validation between them).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hpp"
+#include "cache/filter.hpp"
+#include "cache/stack_sim.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace atc {
+namespace {
+
+TEST(CacheModel, ColdMissesThenHits)
+{
+    cache::CacheModel c({16, 2, 64, cache::ReplPolicy::LRU});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1008)); // same 64B block
+    EXPECT_FALSE(c.access(0x1040)); // next block
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheModel, LruEvictsLeastRecentlyUsed)
+{
+    // Direct the accesses into one set: 1 set, 2 ways.
+    cache::CacheModel c({1, 2, 64, cache::ReplPolicy::LRU});
+    c.access(0 * 64);
+    c.access(1 * 64);
+    c.access(0 * 64);      // touch block 0: block 1 is now LRU
+    c.access(2 * 64);      // evicts block 1
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(1 * 64));
+}
+
+TEST(CacheModel, FifoIgnoresTouches)
+{
+    cache::CacheModel c({1, 2, 64, cache::ReplPolicy::FIFO});
+    c.access(0 * 64);
+    c.access(1 * 64);
+    c.access(0 * 64);      // touch does not refresh FIFO order
+    c.access(2 * 64);      // evicts block 0 (oldest insertion)
+    EXPECT_FALSE(c.access(0 * 64));
+}
+
+TEST(CacheModel, CapacityHoldsWorkingSet)
+{
+    // 32 KB cache: a 16 KB working set fits entirely.
+    cache::CacheModel c(cache::CacheConfig::paperL1());
+    for (int round = 0; round < 3; ++round) {
+        for (uint64_t a = 0; a < 16384; a += 64)
+            c.access(a);
+    }
+    EXPECT_EQ(c.stats().misses, 256u); // only the cold round misses
+}
+
+TEST(CacheModel, RejectsBadGeometry)
+{
+    EXPECT_THROW(cache::CacheModel c({100, 4, 64}), util::Error);
+    EXPECT_THROW(cache::CacheModel c({128, 4, 60}), util::Error);
+    EXPECT_THROW(cache::CacheModel c({128, 0, 64}), util::Error);
+}
+
+TEST(CacheModel, ResetClearsState)
+{
+    cache::CacheModel c({16, 2, 64});
+    c.access(0x1000);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.access(0x1000)); // cold again
+}
+
+TEST(CacheModel, RandomPolicyStillCaches)
+{
+    cache::CacheModel c({16, 4, 64, cache::ReplPolicy::RANDOM});
+    for (int i = 0; i < 100; ++i)
+        c.access(0x2000);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheConfig, PaperL1Geometry)
+{
+    auto cfg = cache::CacheConfig::paperL1();
+    EXPECT_EQ(cfg.capacityBytes(), 32u * 1024);
+    EXPECT_EQ(cfg.ways, 4u);
+    EXPECT_EQ(cfg.block_bytes, 64u);
+}
+
+TEST(CacheFilter, SeparatesInstructionAndData)
+{
+    cache::CacheFilter f;
+    // Same address in I and D streams: each misses its own cache once.
+    EXPECT_TRUE(f.access(0x4000, true).has_value());
+    EXPECT_TRUE(f.access(0x4000, false).has_value());
+    EXPECT_FALSE(f.access(0x4000, true).has_value());
+    EXPECT_FALSE(f.access(0x4000, false).has_value());
+    EXPECT_EQ(f.icacheStats().misses, 1u);
+    EXPECT_EQ(f.dcacheStats().misses, 1u);
+}
+
+TEST(CacheFilter, EmitsBlockAddresses)
+{
+    cache::CacheFilter f;
+    auto miss = f.access(0x12345678, false);
+    ASSERT_TRUE(miss.has_value());
+    EXPECT_EQ(*miss, 0x12345678ull >> 6);
+}
+
+TEST(CacheFilter, L2AbsorbsL1ConflictMisses)
+{
+    // Tiny L1 (direct-mapped, 2 sets) with a large L2 behind it: two
+    // blocks conflicting in L1 stay resident in L2, so only the cold
+    // misses reach the output.
+    cache::CacheConfig l1{2, 1, 64};
+    cache::CacheConfig l2{1024, 8, 64};
+    cache::CacheFilter f(l1, l2);
+    int emitted = 0;
+    for (int i = 0; i < 50; ++i) {
+        // Blocks 0 and 2 map to L1 set 0.
+        emitted += f.access(0 * 64, false).has_value();
+        emitted += f.access(2 * 64, false).has_value();
+    }
+    EXPECT_EQ(emitted, 2);
+    EXPECT_TRUE(f.hasL2());
+}
+
+TEST(CacheFilter, MismatchedBlockSizesRejected)
+{
+    cache::CacheConfig l1{128, 4, 64};
+    cache::CacheConfig l2{1024, 8, 128};
+    EXPECT_THROW(cache::CacheFilter f(l1, l2), util::Error);
+}
+
+TEST(StackSimulator, DistanceHistogramBasics)
+{
+    cache::StackSimulator sim(1, 8);
+    // a b a: 'a' reused at depth 2.
+    sim.access(10);
+    sim.access(20);
+    sim.access(10);
+    EXPECT_EQ(sim.accesses(), 3u);
+    EXPECT_EQ(sim.coldMisses(), 2u);
+    EXPECT_EQ(sim.distanceHistogram()[1], 1u); // depth 2 => index 1
+    EXPECT_EQ(sim.missCount(1), 3u);           // direct-mapped: all miss
+    EXPECT_EQ(sim.missCount(2), 2u);           // 2-way: reuse hits
+}
+
+TEST(StackSimulator, MissRatioMonotoneInAssociativity)
+{
+    util::Rng rng(8);
+    cache::StackSimulator sim(64, 32);
+    for (int i = 0; i < 100000; ++i)
+        sim.access(rng.below(16384));
+    for (uint32_t w = 2; w <= 32; ++w)
+        EXPECT_LE(sim.missRatio(w), sim.missRatio(w - 1));
+}
+
+TEST(StackSimulator, RejectsOutOfRangeAssociativity)
+{
+    cache::StackSimulator sim(16, 8);
+    sim.access(1);
+    EXPECT_THROW(sim.missRatio(0), util::Error);
+    EXPECT_THROW(sim.missRatio(9), util::Error);
+}
+
+class StackVsModel : public testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(StackVsModel, AgreesWithDirectLruSimulation)
+{
+    // The inclusion property: one stack-simulator pass must reproduce
+    // the exact miss counts of an explicit LRU cache at every
+    // associativity.
+    const uint32_t sets = GetParam();
+    const uint32_t max_ways = 8;
+
+    // Workload mixing streaming, loops and randomness.
+    std::vector<uint64_t> blocks;
+    util::Rng rng(sets);
+    trace::LoopNest loop(0x100000, 1 << 18, 1 << 12, 3, 64);
+    for (int i = 0; i < 60000; ++i) {
+        uint64_t byte_addr =
+            rng.below(3) == 0 ? 0x800000 + rng.below(1 << 17) : loop.next();
+        blocks.push_back(byte_addr >> 6);
+    }
+
+    cache::StackSimulator sim(sets, max_ways);
+    for (uint64_t b : blocks)
+        sim.access(b);
+
+    for (uint32_t ways = 1; ways <= max_ways; ++ways) {
+        cache::CacheModel model({sets, ways, 64, cache::ReplPolicy::LRU});
+        for (uint64_t b : blocks)
+            model.accessBlock(b);
+        EXPECT_EQ(sim.missCount(ways), model.stats().misses)
+            << "sets " << sets << " ways " << ways;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetCounts, StackVsModel,
+                         testing::Values(1u, 4u, 16u, 64u, 256u));
+
+TEST(StackSimulator, StreamingHasNoReuseHits)
+{
+    cache::StackSimulator sim(16, 8);
+    for (uint64_t b = 0; b < 10000; ++b)
+        sim.access(b);
+    EXPECT_EQ(sim.missCount(8), 10000u);
+}
+
+} // namespace
+} // namespace atc

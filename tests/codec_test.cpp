@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the block codecs (BWC, LZH, store) and the stream framing,
+ * including corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compress/bwc.hpp"
+#include "compress/lzh.hpp"
+#include "compress/stream.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+std::vector<uint8_t>
+makeData(int mode, size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<uint8_t> data(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (mode) {
+          case 0: // random
+            data[i] = static_cast<uint8_t>(rng.below(256));
+            break;
+          case 1: // periodic
+            data[i] = static_cast<uint8_t>((i / 7) & 15);
+            break;
+          case 2: // low entropy random
+            data[i] = static_cast<uint8_t>(rng.below(3));
+            break;
+          default: // text-like
+            data[i] = static_cast<uint8_t>('a' + rng.below(26));
+            break;
+        }
+    }
+    return data;
+}
+
+struct CodecCase
+{
+    std::string codec;
+    int mode;
+    size_t size;
+};
+
+class CodecRoundTrip : public testing::TestWithParam<CodecCase>
+{
+};
+
+TEST_P(CodecRoundTrip, CompressDecompress)
+{
+    const auto &[name, mode, size] = GetParam();
+    const comp::Codec &codec = comp::codecByName(name);
+    auto data = makeData(mode, size, size * 31 + mode);
+    auto compressed = comp::compressAll(codec, data.data(), data.size(),
+                                        64 * 1024);
+    auto back = comp::decompressAll(codec, compressed.data(),
+                                    compressed.size());
+    EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CodecRoundTrip,
+    testing::Values(
+        CodecCase{"bwc", 0, 0}, CodecCase{"bwc", 0, 1},
+        CodecCase{"bwc", 0, 100000}, CodecCase{"bwc", 1, 100000},
+        CodecCase{"bwc", 2, 100000}, CodecCase{"bwc", 3, 200000},
+        CodecCase{"bwc", 1, 65536}, // exactly one block
+        CodecCase{"bwc", 1, 65537}, // one block + 1 byte
+        CodecCase{"lzh", 0, 0}, CodecCase{"lzh", 0, 1},
+        CodecCase{"lzh", 0, 100000}, CodecCase{"lzh", 1, 100000},
+        CodecCase{"lzh", 2, 100000}, CodecCase{"lzh", 3, 200000},
+        CodecCase{"store", 0, 10000}, CodecCase{"store", 1, 0}));
+
+TEST(CodecRegistry, KnowsAllCodecs)
+{
+    EXPECT_EQ(comp::codecByName("bwc").name(), "bwc");
+    EXPECT_EQ(comp::codecByName("lzh").name(), "lzh");
+    EXPECT_EQ(comp::codecByName("store").name(), "store");
+    EXPECT_THROW(comp::codecByName("bzip2"), util::Error);
+}
+
+TEST(Bwc, CompressesPeriodicDataWell)
+{
+    auto data = makeData(1, 1 << 20, 1);
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size());
+    EXPECT_LT(compressed.size(), data.size() / 100);
+}
+
+TEST(Bwc, BeatsLzhOnTextLikeData)
+{
+    auto data = makeData(3, 1 << 19, 2);
+    auto bwc = comp::compressAll(comp::codecByName("bwc"), data.data(),
+                                 data.size());
+    auto lzh = comp::compressAll(comp::codecByName("lzh"), data.data(),
+                                 data.size());
+    // BWT+entropy coding approaches the ~4.7 bit/symbol source entropy;
+    // LZ77 cannot find matches in memoryless random text.
+    EXPECT_LT(bwc.size(), lzh.size());
+}
+
+TEST(Bwc, RandomDataDoesNotExplode)
+{
+    auto data = makeData(0, 100000, 3);
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size());
+    // Huffman on incompressible bytes: bounded overhead.
+    EXPECT_LT(compressed.size(), data.size() * 11 / 10);
+}
+
+TEST(Bwc, DetectsCorruption)
+{
+    auto data = makeData(1, 50000, 4);
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size());
+    // Flip a bit in the payload (past the frame header and CRC field).
+    compressed[compressed.size() / 2] ^= 0x10;
+    EXPECT_THROW(comp::decompressAll(comp::codecByName("bwc"),
+                                     compressed.data(), compressed.size()),
+                 util::Error);
+}
+
+TEST(Lzh, DetectsCorruption)
+{
+    auto data = makeData(3, 50000, 5);
+    auto compressed = comp::compressAll(comp::codecByName("lzh"),
+                                        data.data(), data.size());
+    compressed[compressed.size() / 2] ^= 0x10;
+    EXPECT_THROW(comp::decompressAll(comp::codecByName("lzh"),
+                                     compressed.data(), compressed.size()),
+                 util::Error);
+}
+
+TEST(Lzh, FindsLongMatches)
+{
+    // Two copies of the same 32 KiB random block: the second copy
+    // should almost disappear.
+    auto half = makeData(0, 32768, 6);
+    std::vector<uint8_t> data(half);
+    data.insert(data.end(), half.begin(), half.end());
+    auto compressed = comp::compressAll(comp::codecByName("lzh"),
+                                        data.data(), data.size());
+    EXPECT_LT(compressed.size(), half.size() * 11 / 10 + 1024);
+    auto back = comp::decompressAll(comp::codecByName("lzh"),
+                                    compressed.data(), compressed.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Lzh, OverlappingMatchRoundTrip)
+{
+    // RLE-style overlap: "aaaa..." encodes as (dist 1, long length).
+    std::vector<uint8_t> data(10000, 'a');
+    auto compressed = comp::compressAll(comp::codecByName("lzh"),
+                                        data.data(), data.size());
+    EXPECT_LT(compressed.size(), 600u);
+    auto back = comp::decompressAll(comp::codecByName("lzh"),
+                                    compressed.data(), compressed.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Stream, MultiBlockFraming)
+{
+    auto data = makeData(1, 300000, 7);
+    // Small blocks force multiple frames.
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size(), 4096);
+    auto back = comp::decompressAll(comp::codecByName("bwc"),
+                                    compressed.data(), compressed.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Stream, TerminatorAllowsEmbedding)
+{
+    auto data = makeData(1, 10000, 8);
+    std::vector<uint8_t> container;
+    util::VectorSink sink(container);
+    comp::StreamCompressor sc(comp::codecByName("store"), sink, 4096);
+    sc.write(data.data(), data.size());
+    sc.finish();
+    // Trailing garbage after the terminator must not be consumed.
+    container.push_back(0xAA);
+    container.push_back(0xBB);
+
+    util::MemorySource src(container);
+    comp::StreamDecompressor sd(comp::codecByName("store"), src);
+    std::vector<uint8_t> back(data.size() + 10);
+    size_t got = sd.read(back.data(), back.size());
+    EXPECT_EQ(got, data.size());
+    back.resize(got);
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(src.remaining(), 2u);
+}
+
+TEST(Stream, RawByteCountTracked)
+{
+    std::vector<uint8_t> out;
+    util::VectorSink sink(out);
+    comp::StreamCompressor sc(comp::codecByName("store"), sink);
+    auto data = makeData(1, 12345, 9);
+    sc.write(data.data(), data.size());
+    sc.finish();
+    EXPECT_EQ(sc.rawBytes(), 12345u);
+}
+
+TEST(Stream, ByteAtATimeReads)
+{
+    auto data = makeData(3, 5000, 10);
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size(), 1024);
+    util::MemorySource src(compressed);
+    comp::StreamDecompressor sd(comp::codecByName("bwc"), src);
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint8_t b;
+        ASSERT_EQ(sd.read(&b, 1), 1u);
+        ASSERT_EQ(b, data[i]) << "at " << i;
+    }
+    uint8_t b;
+    EXPECT_EQ(sd.read(&b, 1), 0u);
+}
+
+TEST(Stream, TruncatedStreamThrows)
+{
+    auto data = makeData(1, 50000, 11);
+    auto compressed = comp::compressAll(comp::codecByName("bwc"),
+                                        data.data(), data.size());
+    compressed.resize(compressed.size() / 2);
+    EXPECT_THROW(comp::decompressAll(comp::codecByName("bwc"),
+                                     compressed.data(), compressed.size()),
+                 util::Error);
+}
+
+} // namespace
+} // namespace atc

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for sorted byte-histograms, the interval distance D(A,B), and
+ * byte translations — including the paper's F2xx/F3xx worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atc/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+std::vector<uint64_t>
+range(uint64_t base, int count)
+{
+    std::vector<uint64_t> v;
+    for (int i = 0; i < count; ++i)
+        v.push_back(base + i);
+    return v;
+}
+
+TEST(Histograms, CountsPerPlane)
+{
+    std::vector<uint64_t> addrs{0x0102, 0x0103, 0x0104};
+    auto h = core::computeHistograms(addrs.data(), addrs.size());
+    EXPECT_EQ(h.len, 3u);
+    EXPECT_EQ(h.h[1][0x01], 3u); // plane 1: all 0x01
+    EXPECT_EQ(h.h[0][0x02], 1u);
+    EXPECT_EQ(h.h[0][0x03], 1u);
+    EXPECT_EQ(h.h[0][0x04], 1u);
+    // All higher planes are all-zero bytes.
+    for (int j = 2; j < 8; ++j)
+        EXPECT_EQ(h.h[j][0], 3u);
+}
+
+TEST(Histograms, SumsToLength)
+{
+    util::Rng rng(1);
+    std::vector<uint64_t> addrs(1000);
+    for (auto &a : addrs)
+        a = rng.next();
+    auto h = core::computeHistograms(addrs.data(), addrs.size());
+    for (int j = 0; j < 8; ++j) {
+        uint64_t sum = 0;
+        for (uint32_t c : h.h[j])
+            sum += c;
+        EXPECT_EQ(sum, addrs.size());
+    }
+}
+
+TEST(SortPermutation, DecreasingCountsStableTies)
+{
+    core::ByteHistogram h{};
+    h[10] = 5;
+    h[20] = 9;
+    h[30] = 5;
+    auto p = core::sortPermutation(h);
+    EXPECT_EQ(p[0], 20); // most frequent first
+    EXPECT_EQ(p[1], 10); // tie broken toward smaller byte value
+    EXPECT_EQ(p[2], 30);
+    // Remaining values (count 0) in ascending byte order.
+    EXPECT_EQ(p[3], 0);
+    EXPECT_EQ(p[255], 255);
+
+    // Must be a permutation.
+    std::set<uint8_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HistogramDistance, IdenticalIsZero)
+{
+    core::ByteHistogram h{};
+    h[1] = 50;
+    h[2] = 50;
+    EXPECT_DOUBLE_EQ(core::histogramDistance(h, 100, h, 100), 0.0);
+}
+
+TEST(HistogramDistance, DisjointIsTwo)
+{
+    core::ByteHistogram a{}, b{};
+    a[1] = 100;
+    b[2] = 100;
+    EXPECT_DOUBLE_EQ(core::histogramDistance(a, 100, b, 100), 2.0);
+}
+
+TEST(HistogramDistance, SymmetricAndBounded)
+{
+    util::Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        core::ByteHistogram a{}, b{};
+        uint64_t la = 0, lb = 0;
+        for (int i = 0; i < 256; ++i) {
+            a[i] = static_cast<uint32_t>(rng.below(100));
+            b[i] = static_cast<uint32_t>(rng.below(100));
+            la += a[i];
+            lb += b[i];
+        }
+        if (la == 0 || lb == 0)
+            continue;
+        double dab = core::histogramDistance(a, la, b, lb);
+        double dba = core::histogramDistance(b, lb, a, la);
+        EXPECT_DOUBLE_EQ(dab, dba);
+        EXPECT_GE(dab, 0.0);
+        EXPECT_LE(dab, 2.0);
+    }
+}
+
+TEST(HistogramDistance, TriangleInequality)
+{
+    util::Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        core::ByteHistogram h[3] = {};
+        uint64_t len[3] = {};
+        for (int k = 0; k < 3; ++k) {
+            for (int i = 0; i < 32; ++i) {
+                h[k][i] = static_cast<uint32_t>(rng.below(50) + 1);
+                len[k] += h[k][i];
+            }
+        }
+        double d01 = core::histogramDistance(h[0], len[0], h[1], len[1]);
+        double d12 = core::histogramDistance(h[1], len[1], h[2], len[2]);
+        double d02 = core::histogramDistance(h[0], len[0], h[2], len[2]);
+        EXPECT_LE(d02, d01 + d12 + 1e-12);
+    }
+}
+
+TEST(SignatureDistance, PaperExample)
+{
+    // Paper §5.1: A = F200..F2FF, B = F300..F3FF. The sorted
+    // histograms match exactly on every plane, so D(A,B) = 0 even
+    // though the address sets are disjoint.
+    auto a = range(0xF200, 256);
+    auto b = range(0xF300, 256);
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+    EXPECT_DOUBLE_EQ(core::signatureDistance(sig_a, sig_b), 0.0);
+}
+
+TEST(SignatureDistance, DetectsStructuralDifference)
+{
+    // A: 256 distinct addresses. B: one address repeated 256 times.
+    auto a = range(0xF200, 256);
+    std::vector<uint64_t> b(256, 0xF300);
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+    // Low-order plane: uniform 1s vs a single 256 spike.
+    EXPECT_GT(core::signatureDistance(sig_a, sig_b), 1.9);
+}
+
+TEST(Translation, PaperExample)
+{
+    // Paper §5.1: using A = F200..F2FF to imitate B = F300..F3FF.
+    // Plane 1 must be translated (F2 -> F3); plane 0 must be left
+    // alone; the imitation is exact.
+    auto a = range(0xF200, 256);
+    auto b = range(0xF300, 256);
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+
+    core::ByteTranslation t =
+        core::makeTranslation(sig_a, sig_b, 0.1);
+    EXPECT_EQ(t.plane_mask, 0x02); // only plane 1 translated
+    EXPECT_EQ(t.t[1][0xF2], 0xF3);
+
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(t.apply(a[i]), b[i]);
+}
+
+TEST(Translation, IdentityWhenPlanesMatch)
+{
+    auto a = range(0xF200, 256);
+    auto sig = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    core::ByteTranslation t = core::makeTranslation(sig, sig, 0.1);
+    EXPECT_EQ(t.plane_mask, 0);
+    EXPECT_EQ(t.apply(0x123456789ABCull), 0x123456789ABCull);
+}
+
+TEST(Translation, IsPerPlanePermutation)
+{
+    util::Rng rng(4);
+    std::vector<uint64_t> a(4096), b(4096);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.next() >> 16;
+        b[i] = rng.next() >> 16;
+    }
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+    core::ByteTranslation t = core::makeTranslation(sig_a, sig_b, 0.01);
+    for (int j = 0; j < 8; ++j) {
+        if (!(t.plane_mask & (1u << j)))
+            continue;
+        std::set<uint8_t> image(t.t[j].begin(), t.t[j].end());
+        EXPECT_EQ(image.size(), 256u) << "plane " << j;
+    }
+}
+
+TEST(Translation, PreservesTemporalStructure)
+{
+    // Translation maps distinct addresses to distinct addresses, so
+    // the reuse pattern (which positions repeat) is preserved exactly.
+    util::Rng rng(5);
+    std::vector<uint64_t> a;
+    for (int i = 0; i < 2000; ++i)
+        a.push_back(0x4000 + rng.below(64)); // many repeats
+    std::vector<uint64_t> b;
+    for (int i = 0; i < 2000; ++i)
+        b.push_back(0x9000 + rng.below(64));
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+    core::ByteTranslation t = core::makeTranslation(sig_a, sig_b, 0.1);
+
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (size_t j = i + 1; j < std::min(a.size(), i + 50); ++j) {
+            EXPECT_EQ(a[i] == a[j], t.apply(a[i]) == t.apply(a[j]));
+        }
+    }
+}
+
+TEST(Translation, MostFrequentMapsToMostFrequent)
+{
+    // Paper: "the most frequent byte of order j in interval A is
+    // replaced with the most frequent byte of order j in interval B."
+    std::vector<uint64_t> a, b;
+    for (int i = 0; i < 100; ++i)
+        a.push_back(0x11); // plane 0 dominated by 0x11
+    for (int i = 0; i < 30; ++i)
+        a.push_back(0x22);
+    for (int i = 0; i < 100; ++i)
+        b.push_back(0x77);
+    for (int i = 0; i < 30; ++i)
+        b.push_back(0x88);
+    auto sig_a = core::IntervalSignature::from(
+        core::computeHistograms(a.data(), a.size()));
+    auto sig_b = core::IntervalSignature::from(
+        core::computeHistograms(b.data(), b.size()));
+    core::ByteTranslation t = core::makeTranslation(sig_a, sig_b, 0.1);
+    ASSERT_TRUE(t.plane_mask & 1);
+    EXPECT_EQ(t.t[0][0x11], 0x77);
+    EXPECT_EQ(t.t[0][0x22], 0x88);
+}
+
+} // namespace
+} // namespace atc

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for canonical, length-limited Huffman coding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "compress/huffman.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+/** Verify Kraft inequality and length-limit for a set of lengths. */
+void
+checkValidCode(const std::vector<uint8_t> &lengths, int limit)
+{
+    double kraft = 0.0;
+    for (uint8_t l : lengths) {
+        EXPECT_LE(l, limit);
+        if (l > 0)
+            kraft += std::pow(2.0, -static_cast<double>(l));
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(HuffmanLengths, EmptyFrequencies)
+{
+    std::vector<uint64_t> freq(10, 0);
+    auto lengths = comp::huffmanLengths(freq);
+    for (uint8_t l : lengths)
+        EXPECT_EQ(l, 0);
+}
+
+TEST(HuffmanLengths, SingleSymbolGetsLengthOne)
+{
+    std::vector<uint64_t> freq(10, 0);
+    freq[3] = 1000;
+    auto lengths = comp::huffmanLengths(freq);
+    EXPECT_EQ(lengths[3], 1);
+}
+
+TEST(HuffmanLengths, TwoSymbols)
+{
+    std::vector<uint64_t> freq{7, 0, 3};
+    auto lengths = comp::huffmanLengths(freq);
+    EXPECT_EQ(lengths[0], 1);
+    EXPECT_EQ(lengths[1], 0);
+    EXPECT_EQ(lengths[2], 1);
+}
+
+TEST(HuffmanLengths, MoreFrequentNeverLonger)
+{
+    util::Rng rng(5);
+    std::vector<uint64_t> freq(64);
+    for (auto &f : freq)
+        f = rng.below(10000);
+    auto lengths = comp::huffmanLengths(freq);
+    for (size_t i = 0; i < freq.size(); ++i) {
+        for (size_t j = 0; j < freq.size(); ++j) {
+            if (freq[i] > freq[j] && freq[j] > 0)
+                EXPECT_LE(lengths[i], lengths[j])
+                    << "sym " << i << " freq " << freq[i] << " vs sym "
+                    << j << " freq " << freq[j];
+        }
+    }
+    checkValidCode(lengths, comp::kMaxCodeLen);
+}
+
+TEST(HuffmanLengths, RespectsLengthLimitOnSkewedInput)
+{
+    // Fibonacci-like frequencies force deep trees without a limit.
+    std::vector<uint64_t> freq(40);
+    uint64_t a = 1, b = 1;
+    for (auto &f : freq) {
+        f = a;
+        uint64_t c = a + b;
+        a = b;
+        b = c;
+    }
+    for (int limit : {8, 12, 24}) {
+        auto lengths = comp::huffmanLengths(freq, limit);
+        checkValidCode(lengths, limit);
+        for (size_t i = 0; i < freq.size(); ++i)
+            EXPECT_GT(lengths[i], 0) << i;
+    }
+}
+
+TEST(HuffmanLengths, NearOptimalOnUniformInput)
+{
+    std::vector<uint64_t> freq(256, 100);
+    auto lengths = comp::huffmanLengths(freq);
+    for (uint8_t l : lengths)
+        EXPECT_EQ(l, 8); // 256 equal symbols -> exactly 8 bits
+}
+
+class HuffmanRoundTrip : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(HuffmanRoundTrip, EncodeDecode)
+{
+    const int alphabet = GetParam();
+    util::Rng rng(alphabet);
+
+    // Geometric-ish distribution over the alphabet.
+    std::vector<uint64_t> freq(alphabet, 0);
+    std::vector<int> symbols;
+    for (int i = 0; i < 20000; ++i) {
+        int sym = 0;
+        while (sym + 1 < alphabet && rng.below(3) == 0)
+            ++sym;
+        freq[sym]++;
+        symbols.push_back(sym);
+    }
+
+    comp::HuffmanEncoder enc(freq);
+    std::vector<uint8_t> out;
+    util::VectorSink sink(out);
+    util::BitWriter bw(sink);
+    enc.writeTable(bw);
+    for (int sym : symbols)
+        enc.writeSymbol(bw, sym);
+    bw.alignAndFlush();
+
+    util::MemorySource src(out);
+    util::BitReader br(src);
+    comp::HuffmanDecoder dec = comp::HuffmanDecoder::readTable(br, alphabet);
+    for (int sym : symbols)
+        EXPECT_EQ(dec.decode(br), sym);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, HuffmanRoundTrip,
+                         testing::Values(2, 3, 16, 100, 258, 300));
+
+TEST(HuffmanDecoder, RejectsOverfullTable)
+{
+    // Three codes of length 1 violate Kraft.
+    std::vector<uint8_t> lengths{1, 1, 1};
+    EXPECT_THROW(comp::HuffmanDecoder dec(lengths), util::Error);
+}
+
+TEST(HuffmanDecoder, RejectsInvalidStreamCode)
+{
+    // Incomplete code: one symbol of length 2; the code 11... is invalid.
+    std::vector<uint8_t> lengths{2};
+    comp::HuffmanDecoder dec(lengths);
+    std::vector<uint8_t> data{0xFF, 0xFF, 0xFF, 0xFF};
+    util::MemorySource src(data);
+    util::BitReader br(src);
+    EXPECT_THROW(dec.decode(br), util::Error);
+}
+
+TEST(HuffmanEncoder, CanonicalCodesAreOrdered)
+{
+    std::vector<uint64_t> freq{100, 50, 25, 12, 6, 3};
+    comp::HuffmanEncoder enc(freq);
+    const auto &lengths = enc.lengths();
+    // Canonical property: codes are assigned by (length, symbol); just
+    // verify the most frequent symbol got the shortest code length.
+    for (size_t i = 1; i < lengths.size(); ++i)
+        EXPECT_LE(lengths[0], lengths[i]);
+}
+
+TEST(HuffmanCompression, ApproachesEntropyOnBiasedData)
+{
+    // 90/10 binary source: entropy ~0.469 bits/symbol.
+    util::Rng rng(11);
+    std::vector<uint64_t> freq(2, 0);
+    std::vector<int> symbols(100000);
+    for (auto &s : symbols) {
+        s = rng.below(10) == 0;
+        freq[s]++;
+    }
+    comp::HuffmanEncoder enc(freq);
+    // Plain Huffman on a binary alphabet cannot beat 1 bit/symbol, but
+    // the table must still assign 1-bit codes to both.
+    EXPECT_EQ(enc.lengths()[0], 1);
+    EXPECT_EQ(enc.lengths()[1], 1);
+}
+
+} // namespace
+} // namespace atc

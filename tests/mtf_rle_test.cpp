@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for move-to-front recoding and zero-run RLE.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/mtf.hpp"
+#include "compress/rle.hpp"
+#include "util/status.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+TEST(Mtf, FirstOccurrenceYieldsByteValue)
+{
+    comp::MtfCoder coder;
+    // With the identity initial ordering, the first encode of value v
+    // produces rank v.
+    EXPECT_EQ(coder.encode(42), 42);
+}
+
+TEST(Mtf, RepeatYieldsZero)
+{
+    comp::MtfCoder coder;
+    coder.encode(42);
+    EXPECT_EQ(coder.encode(42), 0);
+    EXPECT_EQ(coder.encode(42), 0);
+}
+
+TEST(Mtf, RecentlyUsedGetSmallRanks)
+{
+    comp::MtfCoder coder;
+    coder.encode(10);
+    coder.encode(20);
+    EXPECT_EQ(coder.encode(10), 1); // one step behind 20
+}
+
+TEST(Mtf, EncodeDecodeAreInverse)
+{
+    util::Rng rng(3);
+    std::vector<uint8_t> data(5000);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(rng.below(7) * 37);
+    auto enc = comp::mtfEncode(data.data(), data.size());
+    auto dec = comp::mtfDecode(enc.data(), enc.size());
+    EXPECT_EQ(dec, data);
+}
+
+TEST(Mtf, LocalReuseProducesZeros)
+{
+    std::vector<uint8_t> data(1000, 7);
+    auto enc = comp::mtfEncode(data.data(), data.size());
+    EXPECT_EQ(enc[0], 7);
+    for (size_t i = 1; i < enc.size(); ++i)
+        EXPECT_EQ(enc[i], 0);
+}
+
+TEST(Mtf, ResetRestoresIdentity)
+{
+    comp::MtfCoder coder;
+    coder.encode(200);
+    coder.reset();
+    EXPECT_EQ(coder.encode(200), 200);
+}
+
+TEST(Rle, EmptyInputIsJustEob)
+{
+    auto symbols = comp::rleEncode(nullptr, 0);
+    ASSERT_EQ(symbols.size(), 1u);
+    EXPECT_EQ(symbols[0], comp::kEob);
+    EXPECT_TRUE(comp::rleDecode(symbols).empty());
+}
+
+TEST(Rle, NonzeroBytesShiftUp)
+{
+    std::vector<uint8_t> data{1, 255, 100};
+    auto symbols = comp::rleEncode(data.data(), data.size());
+    EXPECT_EQ(symbols[0], 2);   // 1 + 1
+    EXPECT_EQ(symbols[1], 256); // 255 + 1
+    EXPECT_EQ(symbols[2], 101);
+    EXPECT_EQ(symbols[3], comp::kEob);
+}
+
+struct RunCase
+{
+    uint64_t run;
+    std::vector<uint16_t> digits;
+};
+
+class RleRunEncoding : public testing::TestWithParam<RunCase>
+{
+};
+
+TEST_P(RleRunEncoding, BijectiveBase2)
+{
+    std::vector<uint8_t> data(GetParam().run, 0);
+    auto symbols = comp::rleEncode(data.data(), data.size());
+    std::vector<uint16_t> expected = GetParam().digits;
+    expected.push_back(comp::kEob);
+    EXPECT_EQ(symbols, expected);
+    EXPECT_EQ(comp::rleDecode(symbols), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, RleRunEncoding,
+    testing::Values(RunCase{1, {comp::kRunA}}, RunCase{2, {comp::kRunB}},
+                    RunCase{3, {comp::kRunA, comp::kRunA}},
+                    RunCase{4, {comp::kRunB, comp::kRunA}},
+                    RunCase{5, {comp::kRunA, comp::kRunB}},
+                    RunCase{6, {comp::kRunB, comp::kRunB}},
+                    RunCase{7, {comp::kRunA, comp::kRunA, comp::kRunA}}));
+
+TEST(Rle, LongRunIsLogarithmic)
+{
+    std::vector<uint8_t> data(1'000'000, 0);
+    auto symbols = comp::rleEncode(data.data(), data.size());
+    EXPECT_LE(symbols.size(), 22u); // ~log2(1e6) digits + EOB
+    EXPECT_EQ(comp::rleDecode(symbols), data);
+}
+
+TEST(Rle, MixedContentRoundTrip)
+{
+    util::Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint8_t> data(rng.below(3000));
+        for (auto &b : data)
+            b = rng.below(3) ? 0 : static_cast<uint8_t>(rng.below(256));
+        auto symbols = comp::rleEncode(data.data(), data.size());
+        EXPECT_EQ(comp::rleDecode(symbols), data);
+    }
+}
+
+TEST(Rle, DecodeRejectsMissingEob)
+{
+    std::vector<uint16_t> symbols{5, 6};
+    EXPECT_THROW(comp::rleDecode(symbols), util::Error);
+}
+
+TEST(Rle, DecodeRejectsTrailingSymbols)
+{
+    std::vector<uint16_t> symbols{5, comp::kEob, 6};
+    EXPECT_THROW(comp::rleDecode(symbols), util::Error);
+}
+
+TEST(MtfRle, PipelineShrinksRepetitiveData)
+{
+    // BWT-like data: long runs of the same byte.
+    std::vector<uint8_t> data;
+    for (int run = 0; run < 100; ++run) {
+        uint8_t value = static_cast<uint8_t>(run * 13);
+        for (int i = 0; i < 500; ++i)
+            data.push_back(value);
+    }
+    auto mtf = comp::mtfEncode(data.data(), data.size());
+    auto symbols = comp::rleEncode(mtf.data(), mtf.size());
+    // 100 runs -> ~100 literals + ~100*9 run digits, far below 50000.
+    EXPECT_LT(symbols.size(), 2000u);
+
+    auto back = comp::mtfDecode(comp::rleDecode(symbols).data(),
+                                data.size());
+    EXPECT_EQ(back, data);
+}
+
+} // namespace
+} // namespace atc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the Belady/MIN optimal-replacement simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hpp"
+#include "cache/opt_sim.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace atc {
+namespace {
+
+TEST(OptSim, EmptyTrace)
+{
+    auto r = cache::simulateOpt({}, 16, 4);
+    EXPECT_EQ(r.accesses, 0u);
+    EXPECT_EQ(r.misses, 0u);
+    EXPECT_DOUBLE_EQ(r.missRatio(), 0.0);
+}
+
+TEST(OptSim, ColdMissesOnly)
+{
+    // Working set fits: only first touches miss.
+    std::vector<uint64_t> trace;
+    for (int round = 0; round < 5; ++round)
+        for (uint64_t b = 0; b < 32; ++b)
+            trace.push_back(b);
+    auto r = cache::simulateOpt(trace, 16, 2);
+    EXPECT_EQ(r.misses, 32u);
+    EXPECT_EQ(r.cold_misses, 32u);
+}
+
+TEST(OptSim, RejectsBadGeometry)
+{
+    EXPECT_THROW(cache::simulateOpt({1}, 12, 4), util::Error);
+    EXPECT_THROW(cache::simulateOpt({1}, 16, 0), util::Error);
+}
+
+TEST(OptSim, TextbookBeladyExample)
+{
+    // Fully-associative (1 set), 3 ways; classic reference string.
+    // OPT on 7,0,1,2,0,3,0,4,2,3,0,3,2,1,2,0,1,7,0,1 -> 9 misses.
+    std::vector<uint64_t> trace{7, 0, 1, 2, 0, 3, 0, 4, 2, 3,
+                                0, 3, 2, 1, 2, 0, 1, 7, 0, 1};
+    auto r = cache::simulateOpt(trace, 1, 3);
+    EXPECT_EQ(r.misses, 9u);
+}
+
+TEST(OptSim, SingleWayIsTrivial)
+{
+    // Direct-mapped OPT == direct-mapped LRU (no choice of victim).
+    util::Rng rng(1);
+    std::vector<uint64_t> trace(20000);
+    for (auto &b : trace)
+        b = rng.below(512);
+    auto opt = cache::simulateOpt(trace, 64, 1);
+    cache::CacheModel lru({64, 1, 64, cache::ReplPolicy::LRU});
+    for (uint64_t b : trace)
+        lru.accessBlock(b);
+    EXPECT_EQ(opt.misses, lru.stats().misses);
+}
+
+class OptNeverWorseThanLru : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(OptNeverWorseThanLru, OnVariedWorkloads)
+{
+    // The defining property of MIN: no replacement policy (per set)
+    // has fewer misses.
+    util::Rng rng(GetParam());
+    std::vector<uint64_t> trace;
+    trace::LoopNest loop(0, 1 << 18, 1 << 13, 2, 64);
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t addr = rng.below(4) == 0 ? 0x40000 + rng.below(1 << 16)
+                                          : loop.next();
+        trace.push_back(addr >> 6);
+    }
+    for (uint32_t sets : {4u, 32u}) {
+        for (uint32_t ways : {2u, 4u, 8u}) {
+            auto opt = cache::simulateOpt(trace, sets, ways);
+            cache::CacheModel lru(
+                {sets, ways, 64, cache::ReplPolicy::LRU});
+            cache::CacheModel fifo(
+                {sets, ways, 64, cache::ReplPolicy::FIFO});
+            for (uint64_t b : trace) {
+                lru.accessBlock(b);
+                fifo.accessBlock(b);
+            }
+            EXPECT_LE(opt.misses, lru.stats().misses)
+                << sets << "x" << ways;
+            EXPECT_LE(opt.misses, fifo.stats().misses)
+                << sets << "x" << ways;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptNeverWorseThanLru,
+                         testing::Values(1, 2, 3));
+
+TEST(OptSim, BeladyAnomalyFreeMonotoneInWays)
+{
+    // OPT miss counts are monotone non-increasing in associativity
+    // for a fixed set count (stack property of MIN).
+    util::Rng rng(9);
+    std::vector<uint64_t> trace(30000);
+    for (auto &b : trace)
+        b = rng.below(2048);
+    uint64_t prev = ~0ull;
+    for (uint32_t ways : {1u, 2u, 4u, 8u, 16u}) {
+        auto r = cache::simulateOpt(trace, 16, ways);
+        EXPECT_LE(r.misses, prev);
+        prev = r.misses;
+    }
+}
+
+TEST(OptSim, StreamingGetsNoBenefit)
+{
+    // No reuse at all: OPT == cold misses.
+    std::vector<uint64_t> trace(10000);
+    for (size_t i = 0; i < trace.size(); ++i)
+        trace[i] = i;
+    auto r = cache::simulateOpt(trace, 64, 8);
+    EXPECT_EQ(r.misses, trace.size());
+}
+
+} // namespace
+} // namespace atc

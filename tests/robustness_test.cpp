@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Failure-injection and robustness properties: corrupted containers
+ * must fail loudly (throw util::Error), never crash, hang, or return
+ * silently wrong data past the integrity checks. Also covers the
+ * write-back tagging extension and the delta transform end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atc/atc.hpp"
+#include "cache/filter.hpp"
+#include "trace/suite.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+core::MemoryStore
+makeContainer(core::Mode mode, size_t n, uint64_t seed)
+{
+    core::MemoryStore store;
+    core::AtcOptions opt;
+    opt.mode = mode;
+    opt.lossy.interval_len = n / 8 + 1;
+    opt.pipeline.buffer_addrs = n / 16 + 1;
+    opt.pipeline.codec_block = 16 * 1024;
+    core::AtcWriter w(store, opt);
+    util::Rng rng(seed);
+    for (size_t i = 0; i < n; ++i)
+        w.code(rng.next() >> 8);
+    w.close();
+    return store;
+}
+
+/** Copy a store with one byte of one blob flipped. */
+core::MemoryStore
+corruptCopy(const core::MemoryStore &src, bool corrupt_info, size_t pos,
+            uint8_t mask)
+{
+    core::MemoryStore out;
+    {
+        auto sink = out.createInfo();
+        std::vector<uint8_t> info = src.infoBytes();
+        if (corrupt_info && pos < info.size())
+            info[pos] ^= mask;
+        sink->write(info.data(), info.size());
+    }
+    for (size_t id = 0; id < src.chunkCount(); ++id) {
+        auto sink = out.createChunk(static_cast<uint32_t>(id));
+        std::vector<uint8_t> chunk =
+            src.chunkBytes(static_cast<uint32_t>(id));
+        if (!corrupt_info && pos < chunk.size())
+            chunk[pos] ^= mask;
+        sink->write(chunk.data(), chunk.size());
+    }
+    return out;
+}
+
+/** Fully drain a container; count decoded values. */
+size_t
+drain(core::MemoryStore &store)
+{
+    core::AtcReader reader(store);
+    uint64_t v;
+    size_t count = 0;
+    while (reader.decode(&v))
+        ++count;
+    return count;
+}
+
+class CorruptionSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(CorruptionSweep, ChunkBitFlipsNeverSilentlyAccepted)
+{
+    // Flip one byte at many positions of the (lossless) chunk: every
+    // outcome must be either a throw or — never — a silent wrong-length
+    // or wrong-content success. The chunk CRC makes corruption loud.
+    auto base = makeContainer(core::Mode::Lossless, 3000, GetParam());
+    size_t chunk_size = base.chunkBytes(0).size();
+    int threw = 0, survived = 0;
+    for (size_t pos = 0; pos < chunk_size;
+         pos += std::max<size_t>(chunk_size / 40, 1)) {
+        auto bad = corruptCopy(base, false, pos, 0x20);
+        try {
+            size_t n = drain(bad);
+            // Tolerable only if the corruption hit dead framing space
+            // AND content is identical; verify by comparing streams.
+            ++survived;
+            core::AtcReader a(base), b(bad);
+            uint64_t va, vb;
+            for (size_t i = 0; i < n; ++i) {
+                ASSERT_TRUE(a.decode(&va));
+                ASSERT_TRUE(b.decode(&vb));
+                ASSERT_EQ(va, vb) << "silent corruption at byte " << pos;
+            }
+        } catch (const util::Error &) {
+            ++threw;
+        }
+    }
+    // The vast majority of flips must be detected.
+    EXPECT_GT(threw, survived);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep, testing::Values(1, 2, 3));
+
+TEST(Robustness, InfoBitFlipsThrowOrPreserveContent)
+{
+    auto base = makeContainer(core::Mode::Lossy, 4000, 7);
+    size_t info_size = base.infoBytes().size();
+    size_t expect = drain(base);
+    for (size_t pos = 0; pos < info_size; ++pos) {
+        auto bad = corruptCopy(base, true, pos, 0x01);
+        try {
+            size_t n = drain(bad);
+            // INFO integrity is protected by the codec CRC except the
+            // tiny uncompressed preamble; a surviving flip must not
+            // change the value count.
+            EXPECT_EQ(n, expect) << "at byte " << pos;
+        } catch (const util::Error &) {
+            // expected for most positions
+        }
+    }
+}
+
+TEST(Robustness, TruncatedChunkThrows)
+{
+    auto base = makeContainer(core::Mode::Lossless, 5000, 9);
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        sink->write(base.infoBytes().data(), base.infoBytes().size());
+        auto chunk = base.chunkBytes(0);
+        chunk.resize(chunk.size() / 3);
+        auto csink = bad.createChunk(0);
+        csink->write(chunk.data(), chunk.size());
+    }
+    EXPECT_THROW(drain(bad), util::Error);
+}
+
+TEST(Robustness, MissingChunkFileThrows)
+{
+    auto base = makeContainer(core::Mode::Lossy, 4000, 11);
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        sink->write(base.infoBytes().data(), base.infoBytes().size());
+        // copy no chunks
+    }
+    EXPECT_THROW(drain(bad), util::Error);
+}
+
+TEST(DeltaTransform, RoundTripStreaming)
+{
+    util::Rng rng(3);
+    for (size_t len : {size_t(0), size_t(1), size_t(1000), size_t(4097)}) {
+        std::vector<uint64_t> addrs(len);
+        uint64_t base = 0x4000000;
+        for (auto &a : addrs) {
+            base += rng.below(256);
+            a = base;
+        }
+        std::vector<uint8_t> out;
+        util::VectorSink sink(out);
+        core::TransformEncoder enc(core::Transform::Delta, 512, sink);
+        for (uint64_t a : addrs)
+            enc.code(a);
+        enc.finish();
+        util::MemorySource src(out);
+        core::TransformDecoder dec(core::Transform::Delta, src);
+        std::vector<uint64_t> back;
+        uint64_t v;
+        while (dec.decode(&v))
+            back.push_back(v);
+        EXPECT_EQ(back, addrs) << len;
+    }
+}
+
+TEST(DeltaTransform, BeatsRawOnSequentialTrace)
+{
+    std::vector<uint64_t> addrs(100000);
+    for (size_t i = 0; i < addrs.size(); ++i)
+        addrs[i] = 0x123456000 + i;
+    auto bpa = [&](core::Transform t) {
+        util::CountingSink sink;
+        core::LosslessParams p;
+        p.transform = t;
+        p.buffer_addrs = 10000;
+        core::LosslessWriter w(p, sink);
+        for (uint64_t a : addrs)
+            w.code(a);
+        w.finish();
+        return 8.0 * sink.count() / addrs.size();
+    };
+    EXPECT_LT(bpa(core::Transform::Delta), bpa(core::Transform::None));
+    EXPECT_LT(bpa(core::Transform::Delta), 0.2);
+}
+
+TEST(DeltaTransform, ContainerRoundTrip)
+{
+    core::MemoryStore store;
+    core::AtcOptions opt;
+    opt.mode = core::Mode::Lossless;
+    opt.pipeline.transform = core::Transform::Delta;
+    opt.pipeline.buffer_addrs = 700;
+    std::vector<uint64_t> addrs;
+    util::Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        addrs.push_back(rng.next() >> 20);
+    {
+        core::AtcWriter w(store, opt);
+        for (uint64_t a : addrs)
+            w.code(a);
+        w.close();
+    }
+    core::AtcReader r(store);
+    std::vector<uint64_t> back;
+    uint64_t v;
+    while (r.decode(&v))
+        back.push_back(v);
+    EXPECT_EQ(back, addrs);
+}
+
+TEST(WriteBackFilter, WritesProduceTaggedRecords)
+{
+    // Tiny direct-mapped D-cache: write block 0, then force its
+    // eviction with a conflicting block; a tagged write-back appears.
+    cache::CacheConfig l1{2, 1, 64};
+    cache::CacheFilter f(l1);
+    std::vector<uint64_t> out;
+    f.accessTagged(0 * 64, false, true, out);   // write miss: demand rec
+    f.accessTagged(2 * 64, false, false, out);  // conflicting read
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 0u);                         // demand miss, block 0
+    EXPECT_EQ(out[1], 2u);                         // demand miss, block 2
+    EXPECT_EQ(out[2], 0u | cache::kWriteBackTag);  // block 0 written back
+}
+
+TEST(WriteBackFilter, ReadsNeverProduceWriteBacks)
+{
+    cache::CacheConfig l1{2, 1, 64};
+    cache::CacheFilter f(l1);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 100; ++i)
+        f.accessTagged(static_cast<uint64_t>(i) * 64, false, false, out);
+    for (uint64_t rec : out)
+        EXPECT_EQ(rec & cache::kWriteBackTag, 0u);
+}
+
+TEST(WriteBackFilter, InstructionFetchesNeverDirty)
+{
+    cache::CacheConfig l1{2, 1, 64};
+    cache::CacheFilter f(l1);
+    std::vector<uint64_t> out;
+    // is_write is ignored for instruction fetches.
+    f.accessTagged(0, true, true, out);
+    f.accessTagged(2 * 64, true, false, out);
+    f.accessTagged(4 * 64, true, false, out);
+    for (uint64_t rec : out)
+        EXPECT_EQ(rec & cache::kWriteBackTag, 0u);
+}
+
+TEST(WriteBackFilter, TaggedStreamSurvivesAtcLossless)
+{
+    // End-to-end: tagged records (with their MSB tag bits) round-trip
+    // through the compressor — the paper's §2 use case.
+    cache::CacheFilter f;
+    util::Rng rng(6);
+    std::vector<uint64_t> records;
+    for (int i = 0; i < 300000 && records.size() < 20000; ++i) {
+        uint64_t addr = 0x1000000 + rng.below(1 << 21);
+        f.accessTagged(addr, false, rng.below(2) == 0, records);
+    }
+    ASSERT_GT(records.size(), 1000u);
+    bool any_wb = false;
+    for (uint64_t rec : records)
+        any_wb |= (rec & cache::kWriteBackTag) != 0;
+    EXPECT_TRUE(any_wb);
+
+    core::MemoryStore store;
+    core::AtcOptions opt;
+    opt.mode = core::Mode::Lossless;
+    opt.pipeline.buffer_addrs = 4096;
+    {
+        core::AtcWriter w(store, opt);
+        for (uint64_t rec : records)
+            w.code(rec);
+        w.close();
+    }
+    core::AtcReader r(store);
+    std::vector<uint64_t> back;
+    uint64_t v;
+    while (r.decode(&v))
+        back.push_back(v);
+    EXPECT_EQ(back, records);
+}
+
+} // namespace
+} // namespace atc

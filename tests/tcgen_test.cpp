@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the TCgen/VPC-style baseline trace compressor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tcgen/tcgen.hpp"
+#include "trace/suite.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+tcg::TcgenConfig
+smallConfig()
+{
+    tcg::TcgenConfig cfg;
+    cfg.log2_lines = 12; // keep test memory small
+    return cfg;
+}
+
+TEST(PredictorBank, PaperSpecSlotCount)
+{
+    // DFCM3[2], FCM3[3], FCM2[3], FCM1[3] -> 11 prediction slots.
+    tcg::PredictorBank bank(smallConfig());
+    EXPECT_EQ(bank.slots(), 11);
+}
+
+TEST(PredictorBank, MemoryAccounting)
+{
+    tcg::TcgenConfig cfg = smallConfig();
+    tcg::PredictorBank bank(cfg);
+    // 11 slots x 2^12 lines x 8 bytes.
+    EXPECT_EQ(bank.memoryBytes(), 11ull * (1ull << 12) * 8);
+}
+
+TEST(PredictorBank, RejectsEmptyBank)
+{
+    tcg::TcgenConfig cfg;
+    cfg.dfcm3_ways = cfg.fcm3_ways = cfg.fcm2_ways = cfg.fcm1_ways = 0;
+    EXPECT_THROW(tcg::PredictorBank bank(cfg), util::Error);
+}
+
+TEST(Tcgen, EmptyTrace)
+{
+    auto r = tcg::tcgenCompress({}, smallConfig());
+    EXPECT_EQ(tcg::tcgenDecompress(r, smallConfig()), std::vector<uint64_t>{});
+}
+
+class TcgenRoundTrip : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(TcgenRoundTrip, LosslessOnVariedContent)
+{
+    util::Rng rng(GetParam());
+    std::vector<uint64_t> trace;
+    switch (GetParam()) {
+      case 0: // strided
+        for (int i = 0; i < 50000; ++i)
+            trace.push_back(0x1000 + i * 3);
+        break;
+      case 1: // random
+        for (int i = 0; i < 50000; ++i)
+            trace.push_back(rng.next());
+        break;
+      case 2: // repeating cycle
+        for (int r = 0; r < 5; ++r)
+            for (int i = 0; i < 10000; ++i)
+                trace.push_back((i * 2654435761u) & 0xFFFFF);
+        break;
+      default: // mixed
+        for (int i = 0; i < 50000; ++i)
+            trace.push_back(rng.below(4) ? 0x4000 + i : rng.next() >> 20);
+        break;
+    }
+    auto compressed = tcg::tcgenCompress(trace, smallConfig());
+    EXPECT_EQ(tcg::tcgenDecompress(compressed, smallConfig()), trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contents, TcgenRoundTrip,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(Tcgen, StridedTraceCompressesExtremely)
+{
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 100000; ++i)
+        trace.push_back(0x1000 + i);
+    util::CountingSink code_sink, data_sink;
+    tcg::TcgenEncoder enc(smallConfig(), code_sink, data_sink);
+    for (uint64_t v : trace)
+        enc.code(v);
+    enc.finish();
+    // DFCM locks on after a couple of values: nearly no escapes, and
+    // the code stream is a constant byte that compresses away.
+    EXPECT_LT(enc.escapes(), 10u);
+    EXPECT_LT(code_sink.count() + data_sink.count(), 2000u);
+}
+
+TEST(Tcgen, RepeatingCycleLearnedByFcm)
+{
+    // A pseudo-random cycle: unpredictable by stride, but FCM replays
+    // it after one pass.
+    std::vector<uint64_t> cycle(20000);
+    util::Rng rng(5);
+    for (auto &v : cycle)
+        v = rng.next() >> 16;
+    std::vector<uint64_t> trace;
+    for (int r = 0; r < 4; ++r)
+        trace.insert(trace.end(), cycle.begin(), cycle.end());
+
+    util::CountingSink code_sink, data_sink;
+    tcg::TcgenConfig cfg = smallConfig();
+    cfg.log2_lines = 16;
+    tcg::TcgenEncoder enc(cfg, code_sink, data_sink);
+    for (uint64_t v : trace)
+        enc.code(v);
+    enc.finish();
+    // Only the first pass escapes.
+    EXPECT_LT(enc.escapes(), cycle.size() + 200);
+}
+
+TEST(Tcgen, EscapeCountMatchesUnpredictability)
+{
+    util::Rng rng(6);
+    std::vector<uint64_t> trace(20000);
+    for (auto &v : trace)
+        v = rng.next();
+    util::CountingSink code_sink, data_sink;
+    tcg::TcgenEncoder enc(smallConfig(), code_sink, data_sink);
+    for (uint64_t v : trace)
+        enc.code(v);
+    enc.finish();
+    // 64-bit random values: essentially everything escapes.
+    EXPECT_GT(enc.escapes(), trace.size() * 95 / 100);
+}
+
+TEST(Tcgen, RoundTripOnSyntheticBenchmark)
+{
+    auto trace = trace::collectFilteredTrace(
+        trace::benchmarkByName("456.hmmer"), 30000, 1);
+    tcg::TcgenConfig cfg = smallConfig();
+    cfg.log2_lines = 16;
+    auto compressed = tcg::tcgenCompress(trace, cfg);
+    EXPECT_EQ(tcg::tcgenDecompress(compressed, cfg), trace);
+    // Regular benchmark: far below raw 64 bits/address.
+    double bpa = 8.0 * compressed.totalBytes() / trace.size();
+    EXPECT_LT(bpa, 24.0);
+}
+
+TEST(Tcgen, DecoderRejectsInvalidCode)
+{
+    // Hand-craft a code stream with an out-of-range predictor code.
+    std::vector<uint8_t> code_bytes, data_bytes;
+    util::VectorSink code_sink(code_bytes), data_sink(data_bytes);
+    {
+        comp::StreamCompressor cs(comp::codecByName("bwc"), code_sink);
+        uint8_t bad = 200; // valid codes are 0..10 and 255
+        cs.write(&bad, 1);
+        cs.finish();
+        comp::StreamCompressor ds(comp::codecByName("bwc"), data_sink);
+        ds.finish();
+    }
+    util::MemorySource code_src(code_bytes), data_src(data_bytes);
+    tcg::TcgenDecoder dec(smallConfig(), code_src, data_src);
+    uint64_t v;
+    EXPECT_THROW(dec.decode(&v), util::Error);
+}
+
+TEST(Tcgen, AlternativeCodecBackEnd)
+{
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 20000; ++i)
+        trace.push_back(0x8000 + i * 7);
+    tcg::TcgenConfig cfg = smallConfig();
+    cfg.codec = "lzh";
+    auto compressed = tcg::tcgenCompress(trace, cfg);
+    EXPECT_EQ(tcg::tcgenDecompress(compressed, cfg), trace);
+}
+
+} // namespace
+} // namespace atc
