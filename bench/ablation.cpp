@@ -87,8 +87,7 @@ main()
         opt.lossy.epsilon = eps;
         opt.pipeline.buffer_addrs = len / 100;
         core::AtcWriter w(store, opt);
-        for (uint64_t a : mcf)
-            w.code(a);
+        w.write(mcf.data(), mcf.size());
         w.close();
         auto approx = regenerate(store);
         std::printf("%8.2f %8llu %10.3f %14.3f\n", eps,
@@ -113,8 +112,7 @@ main()
         opt.lossy.chunk_table = cap;
         opt.pipeline.buffer_addrs = len / 100;
         core::AtcWriter w(store, opt);
-        for (uint64_t a : xal)
-            w.code(a);
+        w.write(xal.data(), xal.size());
         w.close();
         std::printf("%10zu %8llu %10.3f\n", cap,
                     static_cast<unsigned long long>(

@@ -53,8 +53,7 @@ transformBpa(const std::vector<uint64_t> &trace, core::Transform transform,
     params.transform = transform;
     params.buffer_addrs = buffer_addrs;
     core::LosslessWriter writer(params, sink);
-    for (uint64_t a : trace)
-        writer.code(a);
+    writer.write(trace.data(), trace.size());
     writer.finish();
     return 8.0 * static_cast<double>(sink.count()) /
            static_cast<double>(trace.size());
@@ -88,8 +87,7 @@ lossyCompress(const std::vector<uint64_t> &trace, core::MemoryStore &store,
     opt.pipeline.buffer_addrs =
         std::max<uint64_t>(interval_len / 10, 4096);
     core::AtcWriter writer(store, opt);
-    for (uint64_t a : trace)
-        writer.code(a);
+    writer.write(trace.data(), trace.size());
     writer.close();
     LossyRun run;
     run.bpa = 8.0 * static_cast<double>(store.totalBytes()) /
@@ -103,11 +101,15 @@ inline std::vector<uint64_t>
 regenerate(core::MemoryStore &store)
 {
     core::AtcReader reader(store);
-    std::vector<uint64_t> out;
-    out.reserve(reader.count());
-    uint64_t v;
-    while (reader.decode(&v))
-        out.push_back(v);
+    std::vector<uint64_t> out(reader.count());
+    size_t got = 0;
+    while (got < out.size()) {
+        size_t n = reader.read(out.data() + got, out.size() - got);
+        if (n == 0)
+            break;
+        got += n;
+    }
+    out.resize(got);
     return out;
 }
 

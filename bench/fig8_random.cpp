@@ -25,8 +25,15 @@ main()
     util::Rng rng(2009);
     {
         core::AtcWriter writer(store, opt);
-        for (size_t i = 0; i < n; ++i)
-            writer.code(rng.next());
+        std::vector<uint64_t> batch(1 << 16);
+        size_t produced = 0;
+        while (produced < n) {
+            size_t take = std::min(batch.size(), n - produced);
+            for (size_t i = 0; i < take; ++i)
+                batch[i] = rng.next();
+            writer.write(batch.data(), take);
+            produced += take;
+        }
         writer.close();
     }
 
@@ -44,9 +51,10 @@ main()
     size_t count = 0;
     {
         core::AtcReader reader(store);
-        uint64_t v;
-        while (reader.decode(&v))
-            ++count;
+        std::vector<uint64_t> buf(1 << 16);
+        size_t got;
+        while ((got = reader.read(buf.data(), buf.size())) != 0)
+            count += got;
     }
     std::printf("  regenerated values: %zu (%s; paper: exact count "
                 "preserved)\n",

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "atc/bytesort.hpp"
+#include "atc/lossless.hpp"
 #include "cache/filter.hpp"
 #include "cache/stack_sim.hpp"
 #include "compress/bwt.hpp"
@@ -146,6 +147,76 @@ BM_BytesortInverse(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * addrs.size());
 }
 BENCHMARK(BM_BytesortInverse)->Arg(100'000)->Arg(1'000'000);
+
+std::vector<uint8_t>
+losslessCompressed(const std::vector<uint64_t> &addrs)
+{
+    std::vector<uint8_t> out;
+    util::VectorSink sink(out);
+    core::LosslessParams params;
+    params.buffer_addrs = addrs.size() / 8 + 1;
+    core::LosslessWriter writer(params, sink);
+    writer.write(addrs.data(), addrs.size());
+    writer.finish();
+    return out;
+}
+
+void
+BM_LosslessDecodeSingle(benchmark::State &state)
+{
+    auto addrs = addressLike(1 << 20);
+    auto compressed = losslessCompressed(addrs);
+    core::LosslessParams params;
+    params.buffer_addrs = addrs.size() / 8 + 1;
+    for (auto _ : state) {
+        util::MemorySource src(compressed);
+        core::LosslessReader reader(params, src);
+        uint64_t v, sum = 0;
+        while (reader.decode(&v))
+            sum += v;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_LosslessDecodeSingle);
+
+void
+BM_LosslessDecodeBatch(benchmark::State &state)
+{
+    auto addrs = addressLike(1 << 20);
+    auto compressed = losslessCompressed(addrs);
+    core::LosslessParams params;
+    params.buffer_addrs = addrs.size() / 8 + 1;
+    std::vector<uint64_t> buf(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        util::MemorySource src(compressed);
+        core::LosslessReader reader(params, src);
+        uint64_t sum = 0;
+        size_t got;
+        while ((got = reader.read(buf.data(), buf.size())) != 0)
+            sum += buf[got - 1];
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_LosslessDecodeBatch)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_LosslessEncodeBatch(benchmark::State &state)
+{
+    auto addrs = addressLike(1 << 20);
+    for (auto _ : state) {
+        util::CountingSink sink;
+        core::LosslessParams params;
+        params.buffer_addrs = addrs.size() / 8 + 1;
+        core::LosslessWriter writer(params, sink);
+        writer.write(addrs.data(), addrs.size());
+        writer.finish();
+        benchmark::DoNotOptimize(sink.count());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_LosslessEncodeBatch);
 
 void
 BM_CacheFilter(benchmark::State &state)

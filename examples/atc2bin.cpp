@@ -2,7 +2,7 @@
  * @file
  * CLI mirroring the paper's Figure 7: read an ATC-compressed directory
  * and write the (regenerated) trace as raw 64-bit values on standard
- * output.
+ * output. The chunk suffix is auto-detected from INFO.<suffix>.
  *
  * Usage: atc2bin <dirname>
  *
@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "atc/atc.hpp"
 
@@ -24,18 +25,28 @@ main(int argc, char **argv)
         return 2;
     }
 
-    try {
-        core::AtcReader reader(argv[1]);
-        uint64_t x;
-        while (reader.decode(&x)) {
-            if (std::fwrite(&x, sizeof(x), 1, stdout) != 1) {
-                std::fprintf(stderr, "write error\n");
-                return 1;
-            }
-        }
-    } catch (const util::Error &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
+    auto reader = core::AtcReader::open(argv[1]);
+    if (!reader.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     reader.status().message().c_str());
         return 1;
+    }
+
+    std::vector<uint64_t> batch(1 << 16);
+    for (;;) {
+        auto got = reader.value()->tryRead(batch.data(), batch.size());
+        if (!got.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         got.status().message().c_str());
+            return 1;
+        }
+        if (got.value() == 0)
+            break;
+        if (std::fwrite(batch.data(), sizeof(uint64_t), got.value(),
+                        stdout) != got.value()) {
+            std::fprintf(stderr, "write error\n");
+            return 1;
+        }
     }
     return 0;
 }

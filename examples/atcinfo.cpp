@@ -1,15 +1,16 @@
 /**
  * @file
  * Container inspection tool: prints the metadata of an ATC trace
- * directory — mode, pipeline parameters, per-chunk sizes, and the
- * interval trace (which intervals are chunks, which imitate what, and
- * how many byte planes each imitation translates).
+ * directory — mode, codec spec, per-chunk sizes, and a decode probe.
+ * The chunk suffix is auto-detected; pass it explicitly only when
+ * several containers share one directory.
  *
  * Usage: atcinfo <dirname> [suffix]
  */
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "atc/atc.hpp"
@@ -24,16 +25,22 @@ main(int argc, char **argv)
         return 2;
     }
     std::string dir = argv[1];
-    std::string suffix = argc > 2 ? argv[2] : "bwc";
 
     try {
-        core::AtcReader reader(dir, suffix);
+        std::unique_ptr<core::AtcReader> reader;
+        if (argc > 2)
+            reader = std::make_unique<core::AtcReader>(dir, argv[2]);
+        else
+            reader = std::make_unique<core::AtcReader>(dir);
+
         std::printf("container:  %s\n", dir.c_str());
         std::printf("mode:       %s\n",
-                    reader.mode() == core::Mode::Lossy ? "lossy ('k')"
-                                                       : "lossless ('c')");
+                    reader->mode() == core::Mode::Lossy
+                        ? "lossy ('k')"
+                        : "lossless ('c')");
+        std::printf("codec:      %s\n", reader->codecSpec().c_str());
         std::printf("addresses:  %llu\n",
-                    static_cast<unsigned long long>(reader.count()));
+                    static_cast<unsigned long long>(reader->count()));
 
         uint64_t total_bytes = 0;
         size_t files = 0;
@@ -47,16 +54,14 @@ main(int argc, char **argv)
         std::printf("files:      %zu, %llu bytes total "
                     "(%.3f bits/address)\n",
                     files, static_cast<unsigned long long>(total_bytes),
-                    reader.count()
+                    reader->count()
                         ? 8.0 * static_cast<double>(total_bytes) /
-                              static_cast<double>(reader.count())
+                              static_cast<double>(reader->count())
                         : 0.0);
 
         // Decode a prefix to prove the container is readable.
-        uint64_t v;
-        size_t probe = 0;
-        while (probe < 1000 && reader.decode(&v))
-            ++probe;
+        uint64_t probe_buf[1000];
+        size_t probe = reader->read(probe_buf, 1000);
         std::printf("probe:      first %zu addresses decode OK\n", probe);
     } catch (const util::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -3,9 +3,10 @@
  * CLI mirroring the paper's Figure 6: read raw 64-bit values from
  * standard input and write an ATC-compressed directory.
  *
- * Usage: bin2atc <dirname> [c|k]
- *   c  lossless compression
- *   k  lossy compression (default, as in the paper's example)
+ * Usage: bin2atc <dirname> [c|k] [codec-spec]
+ *   c           lossless compression
+ *   k           lossy compression (default, as in the paper's example)
+ *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
  *
  * Example (paper Figure 8):
  *   cat /dev/urandom | head -c 800000000 | bin2atc foobar
@@ -13,6 +14,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "atc/atc.hpp"
 
@@ -22,7 +24,8 @@ main(int argc, char **argv)
     using namespace atc;
 
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <dirname> [c|k]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s <dirname> [c|k] [codec-spec]\n",
+                     argv[0]);
         return 2;
     }
     const char mode = argc > 2 ? argv[2][0] : 'k';
@@ -34,19 +37,34 @@ main(int argc, char **argv)
 
     core::AtcOptions options;
     options.mode = mode == 'k' ? core::Mode::Lossy : core::Mode::Lossless;
+    if (argc > 3)
+        options.pipeline.codec = argv[3];
+
+    auto writer = core::AtcWriter::open(argv[1], options);
+    if (!writer.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     writer.status().message().c_str());
+        return 1;
+    }
 
     try {
-        core::AtcWriter writer(argv[1], options);
-        uint64_t x;
-        while (std::fread(&x, sizeof(x), 1, stdin) == 1)
-            writer.code(x);
-        writer.close();
-        std::fprintf(stderr, "%llu values compressed into %s\n",
-                     static_cast<unsigned long long>(writer.count()),
-                     argv[1]);
+        std::vector<uint64_t> batch(1 << 16);
+        size_t got;
+        while ((got = std::fread(batch.data(), sizeof(uint64_t),
+                                 batch.size(), stdin)) > 0)
+            writer.value()->write(batch.data(), got);
     } catch (const util::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
+
+    util::Status closed = writer.value()->tryClose();
+    if (!closed.ok()) {
+        std::fprintf(stderr, "error: %s\n", closed.message().c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "%llu values compressed into %s\n",
+                 static_cast<unsigned long long>(writer.value()->count()),
+                 argv[1]);
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "atc/atc.hpp"
 #include "cache/opt_sim.hpp"
 #include "cache/stack_sim.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/suite.hpp"
 
 int
@@ -38,17 +39,14 @@ main(int argc, char **argv)
     opt.pipeline.buffer_addrs = count / 100;
     {
         core::AtcWriter writer(store, opt);
-        for (uint64_t a : addrs)
-            writer.code(a);
+        writer.write(addrs.data(), addrs.size());
         writer.close();
     }
     std::vector<uint64_t> approx;
     approx.reserve(count);
     {
         core::AtcReader reader(store);
-        uint64_t v;
-        while (reader.decode(&v))
-            approx.push_back(v);
+        approx = trace::collect(reader);
     }
     std::printf("%s: %zu addresses, lossy size %llu bytes "
                 "(%.3f bits/address)\n\n",

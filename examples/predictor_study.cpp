@@ -49,8 +49,7 @@ main(int argc, char **argv)
     opt.pipeline.buffer_addrs = count / 100;
     {
         core::AtcWriter writer(store, opt);
-        for (uint64_t a : addrs)
-            writer.code(a);
+        writer.write(addrs.data(), addrs.size());
         writer.close();
     }
 
@@ -61,9 +60,12 @@ main(int argc, char **argv)
         exact_pred.access(a);
     {
         core::AtcReader reader(store);
-        uint64_t v;
-        while (reader.decode(&v))
-            lossy_pred.access(v);
+        uint64_t buf[4096];
+        size_t got;
+        while ((got = reader.read(buf, 4096)) != 0) {
+            for (size_t i = 0; i < got; ++i)
+                lossy_pred.access(buf[i]);
+        }
     }
 
     std::printf("%s: C/DC predictor outcomes (%zu addresses)\n",

@@ -8,12 +8,17 @@
  * "looks like" the first one, so ATC stores a single chunk plus byte
  * translations — a compression ratio of ~10 with L = n/10.
  *
+ * The writer is driven through the batch-first API: values are staged
+ * in a block and handed over as spans (the single-value code() wrapper
+ * remains as the atc_code equivalent).
+ *
  * Usage: quickstart [output-dir]
  */
 
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "atc/atc.hpp"
 #include "util/rng.hpp"
@@ -27,6 +32,7 @@ main(int argc, char **argv)
     std::filesystem::remove_all(dir);
 
     const size_t n = 10'000'000;
+    const size_t block = 1 << 16;
 
     core::AtcOptions options;
     options.mode = core::Mode::Lossy;           // 'k' in the original tool
@@ -38,9 +44,16 @@ main(int argc, char **argv)
     {
         core::AtcWriter writer(dir, options);
         util::Rng rng(42);
-        for (size_t i = 0; i < n; ++i)
-            writer.code(rng.next()); // atc_code
-        writer.close();              // atc_close
+        std::vector<uint64_t> batch(block);
+        size_t produced = 0;
+        while (produced < n) {
+            size_t take = std::min(block, n - produced);
+            for (size_t i = 0; i < take; ++i)
+                batch[i] = rng.next();
+            writer.write(batch.data(), take); // batched atc_code
+            produced += take;
+        }
+        writer.close();                       // atc_close
 
         const auto &stats = writer.lossyStats();
         std::printf("  intervals: %llu, chunks stored: %llu, imitated: "
@@ -63,11 +76,11 @@ main(int argc, char **argv)
                 8.0 * n / compressed_bytes);
 
     std::printf("Decompressing and checking length ...\n");
-    core::AtcReader reader(dir); // atc_open('d')
-    size_t count = 0;
-    uint64_t value;
-    while (reader.decode(&value)) // atc_decode
-        ++count;
+    core::AtcReader reader(dir); // atc_open('d'); suffix auto-detected
+    std::vector<uint64_t> out(block);
+    size_t count = 0, got = 0;
+    while ((got = reader.read(out.data(), out.size())) != 0) // atc_decode
+        count += got;
     std::printf("  regenerated %zu values (%s)\n", count,
                 count == n ? "OK" : "MISMATCH");
     return count == n ? 0 : 1;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <filesystem>
 
 #include "util/status.hpp"
 
@@ -15,7 +16,7 @@ constexpr uint8_t kVersion = 1;
 void
 writeString(util::ByteSink &sink, const std::string &s)
 {
-    ATC_ASSERT(s.size() < 256);
+    ATC_CHECK(s.size() < 256, "codec spec too long for INFO preamble");
     sink.writeByte(static_cast<uint8_t>(s.size()));
     sink.write(reinterpret_cast<const uint8_t *>(s.data()), s.size());
 }
@@ -65,11 +66,86 @@ readRecord(util::ByteSource &src)
     return rec;
 }
 
+/** @return the codec *name* of @p spec, for use as a file suffix. */
+std::string
+codecSuffix(const std::string &spec)
+{
+    auto parsed = comp::CodecSpec::parse(spec);
+    if (!parsed.ok())
+        util::raise(parsed.status().message());
+    return parsed.value().name;
+}
+
+/**
+ * Auto-detect the chunk-file suffix of a directory container by
+ * globbing for `INFO.<suffix>`. With several candidates (containers
+ * sharing a directory), the one whose INFO-recorded codec name matches
+ * its own suffix wins.
+ */
+std::string
+detectSuffix(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+
+    // Every filesystem call goes through the error_code overloads so a
+    // racing delete or permission change surfaces as util::Error, not
+    // as an fs::filesystem_error escaping the Status boundary.
+    std::vector<std::string> suffixes;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec), end;
+    ATC_CHECK(!ec, "cannot read trace directory " + dir);
+    for (; it != end; it.increment(ec)) {
+        std::error_code entry_ec;
+        if (!it->is_regular_file(entry_ec) || entry_ec)
+            continue;
+        std::string fn = it->path().filename().string();
+        if (fn.rfind("INFO.", 0) == 0 && fn.size() > 5)
+            suffixes.push_back(fn.substr(5));
+    }
+    // An increment error ends the loop with ec set (it becomes end()).
+    ATC_CHECK(!ec, "cannot read trace directory " + dir);
+    ATC_CHECK(!suffixes.empty(),
+              "no INFO.<suffix> file in " + dir +
+                  " (not an ATC container?)");
+    if (suffixes.size() == 1)
+        return suffixes.front();
+
+    std::vector<std::string> matching;
+    for (const std::string &suffix : suffixes) {
+        try {
+            util::FileSource info(dir + "/INFO." + suffix);
+            char magic[4];
+            info.readExact(reinterpret_cast<uint8_t *>(magic), 4);
+            if (std::memcmp(magic, kMagic, 4) != 0)
+                continue;
+            uint8_t skip[2]; // version, mode
+            info.readExact(skip, 2);
+            auto parsed = comp::CodecSpec::parse(readString(info));
+            if (parsed.ok() && parsed.value().name == suffix)
+                matching.push_back(suffix);
+        } catch (const util::Error &) {
+            // Unreadable candidate; keep looking.
+        }
+    }
+    ATC_CHECK(!matching.empty(),
+              "no readable ATC container among the INFO.* files in " +
+                  dir);
+    ATC_CHECK(matching.size() == 1,
+              "ambiguous container: several INFO.* files in " + dir +
+                  "; pass an explicit suffix");
+    return matching.front();
+}
+
 } // namespace
 
 AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
-    : store_(&store), options_(options)
+    : store_(&store), options_(options),
+      codec_(comp::makeCodec(options.pipeline.codec))
 {
+    // writeString's limit, enforced up front so a bad spec fails at
+    // construction rather than after everything has been compressed.
+    ATC_CHECK(codec_.spec.size() < 256,
+              "codec spec too long for INFO preamble");
     options_.lossy.chunk_params = options_.pipeline;
     if (options_.mode == Mode::Lossless) {
         chunk_sink_ = store_->createChunk(0);
@@ -81,10 +157,13 @@ AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
 }
 
 AtcWriter::AtcWriter(const std::string &dir, const AtcOptions &options)
-    : owned_store_(
-          std::make_unique<DirectoryStore>(dir, options.pipeline.codec)),
-      store_(owned_store_.get()), options_(options)
+    : owned_store_(std::make_unique<DirectoryStore>(
+          dir, codecSuffix(options.pipeline.codec))),
+      store_(owned_store_.get()), options_(options),
+      codec_(comp::makeCodec(options.pipeline.codec))
 {
+    ATC_CHECK(codec_.spec.size() < 256,
+              "codec spec too long for INFO preamble");
     options_.lossy.chunk_params = options_.pipeline;
     if (options_.mode == Mode::Lossless) {
         chunk_sink_ = store_->createChunk(0);
@@ -95,17 +174,37 @@ AtcWriter::AtcWriter(const std::string &dir, const AtcOptions &options)
     }
 }
 
+util::StatusOr<std::unique_ptr<AtcWriter>>
+AtcWriter::open(ChunkStore &store, const AtcOptions &options)
+{
+    try {
+        return std::make_unique<AtcWriter>(store, options);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::unique_ptr<AtcWriter>>
+AtcWriter::open(const std::string &dir, const AtcOptions &options)
+{
+    try {
+        return std::make_unique<AtcWriter>(dir, options);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
 AtcWriter::~AtcWriter() = default;
 
 void
-AtcWriter::code(uint64_t value)
+AtcWriter::write(const uint64_t *vals, size_t n)
 {
     ATC_ASSERT(!closed_);
     if (lossless_)
-        lossless_->code(value);
+        lossless_->write(vals, n);
     else
-        lossy_->code(value);
-    ++count_;
+        lossy_->write(vals, n);
+    count_ += n;
 }
 
 const LossyStats &
@@ -120,16 +219,17 @@ AtcWriter::writeInfo()
 {
     auto info = store_->createInfo();
 
-    // Uncompressed preamble.
+    // Uncompressed preamble. The canonical codec spec is persisted so a
+    // reader reconstructs the exact codec configuration on open.
     info->write(reinterpret_cast<const uint8_t *>(kMagic), 4);
     info->writeByte(kVersion);
     info->writeByte(static_cast<uint8_t>(options_.mode));
-    writeString(*info, options_.pipeline.codec);
+    writeString(*info, codec_.spec);
 
     // Compressed payload.
     comp::StreamCompressor payload(
-        comp::codecByName(options_.pipeline.codec), *info,
-        options_.pipeline.codec_block);
+        *codec_.codec, *info,
+        codec_.blockOr(options_.pipeline.codec_block));
     // The mode is echoed inside the CRC-protected payload so that a
     // corrupted preamble cannot silently reinterpret the container.
     payload.writeByte(static_cast<uint8_t>(options_.mode));
@@ -165,8 +265,27 @@ AtcWriter::close()
     closed_ = true;
 }
 
+util::Status
+AtcWriter::tryClose()
+{
+    try {
+        close();
+        return util::Status();
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
 AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
     : store_(&store)
+{
+    openContainer(decoder_cache);
+}
+
+AtcReader::AtcReader(const std::string &dir, size_t decoder_cache)
+    : owned_store_(
+          std::make_unique<DirectoryStore>(dir, detectSuffix(dir))),
+      store_(owned_store_.get())
 {
     openContainer(decoder_cache);
 }
@@ -177,6 +296,26 @@ AtcReader::AtcReader(const std::string &dir, const std::string &suffix,
       store_(owned_store_.get())
 {
     openContainer(decoder_cache);
+}
+
+util::StatusOr<std::unique_ptr<AtcReader>>
+AtcReader::open(ChunkStore &store, size_t decoder_cache)
+{
+    try {
+        return std::make_unique<AtcReader>(store, decoder_cache);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::unique_ptr<AtcReader>>
+AtcReader::open(const std::string &dir, size_t decoder_cache)
+{
+    try {
+        return std::make_unique<AtcReader>(dir, decoder_cache);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
 }
 
 AtcReader::~AtcReader() = default;
@@ -196,9 +335,15 @@ AtcReader::openContainer(size_t decoder_cache)
     info->readExact(&mode, 1);
     ATC_CHECK(mode <= 1, "corrupt ATC container mode");
     mode_ = static_cast<Mode>(mode);
-    std::string codec = readString(*info);
+    codec_spec_ = readString(*info);
 
-    comp::StreamDecompressor payload(comp::codecByName(codec), *info);
+    auto cc = comp::CodecRegistry::instance().create(codec_spec_);
+    if (!cc.ok())
+        util::raise("cannot reconstruct container codec: " +
+                    cc.status().message());
+    comp::ConfiguredCodec codec = cc.take();
+
+    comp::StreamDecompressor payload(*codec.codec, *info);
     uint8_t mode_echo;
     payload.readExact(&mode_echo, 1);
     ATC_CHECK(mode_echo == mode,
@@ -211,7 +356,7 @@ AtcReader::openContainer(size_t decoder_cache)
     pipeline.transform = static_cast<Transform>(transform);
     pipeline.buffer_addrs =
         static_cast<size_t>(util::readVarint(payload));
-    pipeline.codec = codec;
+    pipeline.codec = codec.spec;
     count_ = util::readVarint(payload);
 
     if (mode_ == Mode::Lossless) {
@@ -239,13 +384,23 @@ AtcReader::openContainer(size_t decoder_cache)
                                             std::move(records));
 }
 
-bool
-AtcReader::decode(uint64_t *out)
+size_t
+AtcReader::read(uint64_t *out, size_t n)
 {
-    bool ok = lossless_ ? lossless_->decode(out) : lossy_->decode(out);
-    if (ok)
-        ++delivered_;
-    return ok;
+    size_t got = lossless_ ? lossless_->read(out, n)
+                           : lossy_->read(out, n);
+    delivered_ += got;
+    return got;
+}
+
+util::StatusOr<size_t>
+AtcReader::tryRead(uint64_t *out, size_t n)
+{
+    try {
+        return read(out, n);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
 }
 
 } // namespace atc::core

@@ -9,8 +9,20 @@
  * directory of `<n>.<suffix>` chunk files plus `INFO.<suffix>`,
  * exactly like the original tool's output (Figure 8).
  *
+ * The API is batch-first: write(vals, n) / read(out, n) are the hot
+ * paths; code()/decode() are thin single-value wrappers kept for parity
+ * with atc_code/atc_decode. Both classes speak the composable trace
+ * pipeline interfaces (trace::TraceSink / trace::TraceSource), so a
+ * compressor slots directly behind a generator or cache-filter stage.
+ *
+ * Failures while opening or reading a container (missing files,
+ * corrupt INFO, truncated chunks) surface as util::Status/StatusOr via
+ * the open()/tryRead()/tryClose() entry points; the constructors and
+ * hot-path calls throw util::Error instead. ATC_ASSERT stays reserved
+ * for internal invariants.
+ *
  * INFO layout: an uncompressed preamble (magic, version, mode, codec
- * name) followed by a codec-compressed payload holding the pipeline
+ * spec) followed by a codec-compressed payload holding the pipeline
  * parameters, the address count and — in lossy mode — the interval
  * trace (chunk/imitate records with byte translations).
  */
@@ -24,6 +36,9 @@
 #include "atc/container.hpp"
 #include "atc/lossless.hpp"
 #include "atc/lossy.hpp"
+#include "compress/codec.hpp"
+#include "trace/pipeline.hpp"
+#include "util/status.hpp"
 
 namespace atc::core {
 
@@ -39,39 +54,57 @@ struct AtcOptions
 {
     Mode mode = Mode::Lossy;
     /** Transform + codec pipeline: the whole stream in lossless mode,
-     *  each chunk in lossy mode. */
+     *  each chunk in lossy mode. The codec field is a registry spec,
+     *  e.g. "bwc", "lzh", "bwc:block=900k". */
     LosslessParams pipeline;
     /** Lossy-mode parameters (chunk_params is overridden by pipeline). */
     LossyParams lossy;
 };
 
 /** Compressing side of the ATC container. */
-class AtcWriter
+class AtcWriter : public trace::TraceSink
 {
   public:
     /**
      * Write into an existing store.
      * @param store destination; must outlive the writer
      * @param options mode and parameters
+     * @throws util::Error on a malformed or unknown codec spec
      */
     AtcWriter(ChunkStore &store, const AtcOptions &options);
 
     /**
-     * Write into a directory (created if needed), using the codec name
-     * as the file suffix — the original tool's layout.
+     * Write into a directory (created if needed), using the codec
+     * *name* (never the full spec) as the file suffix — the original
+     * tool's layout.
+     * @throws util::Error on a bad codec spec or uncreatable directory
      */
     AtcWriter(const std::string &dir, const AtcOptions &options);
 
-    ~AtcWriter();
+    /** Non-throwing constructor wrapper. */
+    static util::StatusOr<std::unique_ptr<AtcWriter>> open(
+        ChunkStore &store, const AtcOptions &options);
+
+    /** Non-throwing constructor wrapper (directory layout). */
+    static util::StatusOr<std::unique_ptr<AtcWriter>> open(
+        const std::string &dir, const AtcOptions &options);
+
+    ~AtcWriter() override;
 
     AtcWriter(const AtcWriter &) = delete;
     AtcWriter &operator=(const AtcWriter &) = delete;
 
+    /** Compress a batch of values — the primary entry point. */
+    void write(const uint64_t *vals, size_t n) override;
+
     /** Compress one 64-bit value (atc_code). */
-    void code(uint64_t value);
+    void code(uint64_t value) { write(&value, 1); }
 
     /** Finalize the container, writing INFO (atc_close). */
-    void close();
+    void close() override;
+
+    /** close(), reporting I/O failures as a Status instead of throwing. */
+    util::Status tryClose();
 
     /** @return values coded so far. */
     uint64_t count() const { return count_; }
@@ -85,6 +118,7 @@ class AtcWriter
     std::unique_ptr<ChunkStore> owned_store_;
     ChunkStore *store_;
     AtcOptions options_;
+    comp::ConfiguredCodec codec_;
     uint64_t count_ = 0;
     bool closed_ = false;
 
@@ -97,38 +131,65 @@ class AtcWriter
 };
 
 /** Decompressing side; mode is auto-detected from INFO. */
-class AtcReader
+class AtcReader : public trace::TraceSource
 {
   public:
     /**
      * Read from an existing store.
      * @param store source; must outlive the reader
      * @param decoder_cache decompressed chunks cached in lossy mode
+     * @throws util::Error on missing/corrupt INFO
      */
     explicit AtcReader(ChunkStore &store, size_t decoder_cache = 8);
 
     /**
-     * Read from a directory container.
-     * @param dir    directory written by AtcWriter
-     * @param suffix chunk-file suffix (the codec name by default)
+     * Read from a directory container, auto-detecting the chunk-file
+     * suffix from the `INFO.<suffix>` file present in the directory.
+     * @throws util::Error when no INFO file is found or INFO is corrupt
      */
-    explicit AtcReader(const std::string &dir,
-                       const std::string &suffix = "bwc",
-                       size_t decoder_cache = 8);
+    explicit AtcReader(const std::string &dir, size_t decoder_cache = 8);
 
-    ~AtcReader();
+    /**
+     * Read from a directory container with an explicit suffix (only
+     * needed when several containers share one directory).
+     */
+    AtcReader(const std::string &dir, const std::string &suffix,
+              size_t decoder_cache = 8);
+
+    /** Non-throwing constructor wrapper. */
+    static util::StatusOr<std::unique_ptr<AtcReader>> open(
+        ChunkStore &store, size_t decoder_cache = 8);
+
+    /** Non-throwing constructor wrapper (directory, auto-detect). */
+    static util::StatusOr<std::unique_ptr<AtcReader>> open(
+        const std::string &dir, size_t decoder_cache = 8);
+
+    ~AtcReader() override;
 
     AtcReader(const AtcReader &) = delete;
     AtcReader &operator=(const AtcReader &) = delete;
 
     /**
+     * Decompress up to @p n values — the primary entry point.
+     * @return values produced; 0 means end of trace
+     * @throws util::Error on truncated/corrupt chunk data
+     */
+    size_t read(uint64_t *out, size_t n) override;
+
+    /** read(), reporting corruption as a Status instead of throwing. */
+    util::StatusOr<size_t> tryRead(uint64_t *out, size_t n);
+
+    /**
      * Decompress the next value (atc_decode).
      * @return false at end of trace
      */
-    bool decode(uint64_t *out);
+    bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
     /** @return the container's compression mode. */
     Mode mode() const { return mode_; }
+
+    /** @return the codec spec recorded in INFO. */
+    const std::string &codecSpec() const { return codec_spec_; }
 
     /** @return total values in the trace, from INFO. */
     uint64_t count() const { return count_; }
@@ -139,6 +200,7 @@ class AtcReader
     std::unique_ptr<ChunkStore> owned_store_;
     ChunkStore *store_;
     Mode mode_ = Mode::Lossless;
+    std::string codec_spec_;
     uint64_t count_ = 0;
     uint64_t delivered_ = 0;
 

@@ -1,5 +1,7 @@
 #include "atc/bytesort.hpp"
 
+#include <cstring>
+
 #include "util/status.hpp"
 
 namespace atc::core {
@@ -133,13 +135,19 @@ TransformEncoder::TransformEncoder(Transform transform, size_t buffer_addrs,
 }
 
 void
-TransformEncoder::code(uint64_t addr)
+TransformEncoder::write(const uint64_t *addrs, size_t n)
 {
     ATC_ASSERT(!finished_);
-    buffer_.push_back(addr);
-    ++count_;
-    if (buffer_.size() == capacity_)
-        emitBuffer();
+    count_ += n;
+    while (n > 0) {
+        size_t room = capacity_ - buffer_.size();
+        size_t take = n < room ? n : room;
+        buffer_.insert(buffer_.end(), addrs, addrs + take);
+        addrs += take;
+        n -= take;
+        if (buffer_.size() == capacity_)
+            emitBuffer();
+    }
 }
 
 void
@@ -248,13 +256,23 @@ TransformDecoder::refill()
     return true;
 }
 
-bool
-TransformDecoder::decode(uint64_t *out)
+size_t
+TransformDecoder::read(uint64_t *out, size_t n)
 {
-    if (pos_ == buffer_.size() && !refill())
-        return false;
-    *out = buffer_[pos_++];
-    return true;
+    size_t got = 0;
+    while (got < n) {
+        if (pos_ == buffer_.size()) {
+            if (!refill())
+                break;
+        }
+        size_t avail = buffer_.size() - pos_;
+        size_t take = (n - got) < avail ? (n - got) : avail;
+        std::memcpy(out + got, buffer_.data() + pos_,
+                    take * sizeof(uint64_t));
+        got += take;
+        pos_ += take;
+    }
+    return got;
 }
 
 } // namespace atc::core

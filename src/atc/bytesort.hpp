@@ -71,8 +71,11 @@ class TransformEncoder
     TransformEncoder(Transform transform, size_t buffer_addrs,
                      util::ByteSink &out);
 
+    /** Append a batch of addresses — the primary (hot-path) entry. */
+    void write(const uint64_t *addrs, size_t n);
+
     /** Append one address. */
-    void code(uint64_t addr);
+    void code(uint64_t addr) { write(&addr, 1); }
 
     /** Emit the final partial buffer and the terminator. */
     void finish();
@@ -102,11 +105,17 @@ class TransformDecoder
     TransformDecoder(Transform transform, util::ByteSource &in);
 
     /**
+     * Produce up to @p n addresses — the primary (hot-path) entry.
+     * @return addresses produced; 0 means end of trace
+     */
+    size_t read(uint64_t *out, size_t n);
+
+    /**
      * Produce the next address.
      * @param out receives the address
      * @return false at end of trace
      */
-    bool decode(uint64_t *out);
+    bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
   private:
     bool refill();

@@ -1,20 +1,24 @@
 #include "atc/lossless.hpp"
 
+#include "compress/codec.hpp"
+
 namespace atc::core {
 
 LosslessWriter::LosslessWriter(const LosslessParams &params,
                                util::ByteSink &out)
 {
+    comp::ConfiguredCodec cc = comp::makeCodec(params.codec);
+    codec_ = cc.codec;
     codec_stage_ = std::make_unique<comp::StreamCompressor>(
-        comp::codecByName(params.codec), out, params.codec_block);
+        *codec_, out, cc.blockOr(params.codec_block));
     transform_ = std::make_unique<TransformEncoder>(
         params.transform, params.buffer_addrs, *codec_stage_);
 }
 
 void
-LosslessWriter::code(uint64_t addr)
+LosslessWriter::write(const uint64_t *addrs, size_t n)
 {
-    transform_->code(addr);
+    transform_->write(addrs, n);
 }
 
 void
@@ -27,16 +31,17 @@ LosslessWriter::finish()
 LosslessReader::LosslessReader(const LosslessParams &params,
                                util::ByteSource &in)
 {
-    codec_stage_ = std::make_unique<comp::StreamDecompressor>(
-        comp::codecByName(params.codec), in);
+    comp::ConfiguredCodec cc = comp::makeCodec(params.codec);
+    codec_ = cc.codec;
+    codec_stage_ = std::make_unique<comp::StreamDecompressor>(*codec_, in);
     transform_ = std::make_unique<TransformDecoder>(params.transform,
                                                     *codec_stage_);
 }
 
-bool
-LosslessReader::decode(uint64_t *out)
+size_t
+LosslessReader::read(uint64_t *out, size_t n)
 {
-    return transform_->decode(out);
+    return transform_->read(out, n);
 }
 
 } // namespace atc::core

@@ -4,7 +4,9 @@
  * unshuffle, or none) followed by a byte-level codec.
  *
  * This is both ATC's lossless mode ('c' in the original tool) and the
- * per-chunk compressor of the lossy mode.
+ * per-chunk compressor of the lossy mode. The codec is addressed by a
+ * registry spec (e.g. "bwc", "lzh", "bwc:block=900k") and constructed
+ * through comp::CodecRegistry, so back ends stay pluggable.
  */
 
 #ifndef ATC_ATC_LOSSLESS_HPP_
@@ -25,9 +27,9 @@ struct LosslessParams
     Transform transform = Transform::Bytesort;
     /** Bytesort buffer B in addresses (paper: 1M "small", 10M "big"). */
     size_t buffer_addrs = 1'000'000;
-    /** Byte-level codec registry name. */
+    /** Byte-level codec spec (see comp::CodecSpec). */
     std::string codec = "bwc";
-    /** Codec block size in bytes. */
+    /** Codec block size; a `block=` spec parameter overrides this. */
     size_t codec_block = comp::kDefaultBlockSize;
 };
 
@@ -38,11 +40,15 @@ class LosslessWriter
     /**
      * @param params pipeline parameters
      * @param out    destination (e.g. a chunk file)
+     * @throws util::Error on a malformed or unknown codec spec
      */
     LosslessWriter(const LosslessParams &params, util::ByteSink &out);
 
+    /** Compress a batch of addresses — the primary entry point. */
+    void write(const uint64_t *addrs, size_t n);
+
     /** Compress one address. */
-    void code(uint64_t addr);
+    void code(uint64_t addr) { write(&addr, 1); }
 
     /** Flush everything; call exactly once. */
     void finish();
@@ -51,6 +57,7 @@ class LosslessWriter
     uint64_t count() const { return transform_->count(); }
 
   private:
+    std::shared_ptr<const comp::Codec> codec_;
     std::unique_ptr<comp::StreamCompressor> codec_stage_;
     std::unique_ptr<TransformEncoder> transform_;
 };
@@ -63,16 +70,24 @@ class LosslessReader
      * @param params parameters used to write the stream (buffer size is
      *               not needed; frames are self-describing)
      * @param in     source (e.g. a chunk file)
+     * @throws util::Error on a malformed or unknown codec spec
      */
     LosslessReader(const LosslessParams &params, util::ByteSource &in);
+
+    /**
+     * Decompress up to @p n addresses — the primary entry point.
+     * @return addresses produced; 0 means end of stream
+     */
+    size_t read(uint64_t *out, size_t n);
 
     /**
      * Decompress the next address.
      * @return false at end of stream
      */
-    bool decode(uint64_t *out);
+    bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
   private:
+    std::shared_ptr<const comp::Codec> codec_;
     std::unique_ptr<comp::StreamDecompressor> codec_stage_;
     std::unique_ptr<TransformDecoder> transform_;
 };

@@ -1,6 +1,7 @@
 #include "atc/lossy.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/status.hpp"
 
@@ -15,13 +16,20 @@ LossyEncoder::LossyEncoder(const LossyParams &params, ChunkStore &store)
 }
 
 void
-LossyEncoder::code(uint64_t addr)
+LossyEncoder::write(const uint64_t *addrs, size_t n)
 {
     ATC_ASSERT(!finished_);
-    buffer_.push_back(addr);
-    ++stats_.addresses;
-    if (buffer_.size() == params_.interval_len)
-        processInterval();
+    stats_.addresses += n;
+    while (n > 0) {
+        size_t room =
+            static_cast<size_t>(params_.interval_len) - buffer_.size();
+        size_t take = n < room ? n : room;
+        buffer_.insert(buffer_.end(), addrs, addrs + take);
+        addrs += take;
+        n -= take;
+        if (buffer_.size() == params_.interval_len)
+            processInterval();
+    }
 }
 
 void
@@ -30,8 +38,7 @@ LossyEncoder::emitChunk(const IntervalSignature &sig)
     uint32_t id = static_cast<uint32_t>(stats_.chunks_created++);
     auto sink = store_.createChunk(id);
     LosslessWriter writer(params_.chunk_params, *sink);
-    for (uint64_t a : buffer_)
-        writer.code(a);
+    writer.write(buffer_.data(), buffer_.size());
     writer.finish();
     sink->flush();
 
@@ -118,9 +125,10 @@ LossyDecoder::loadChunk(uint32_t id)
     auto src = store_.openChunk(id);
     LosslessReader reader(params_.chunk_params, *src);
     std::vector<uint64_t> addrs;
-    uint64_t a;
-    while (reader.decode(&a))
-        addrs.push_back(a);
+    uint64_t buf[4096];
+    size_t got;
+    while ((got = reader.read(buf, 4096)) != 0)
+        addrs.insert(addrs.end(), buf, buf + got);
 
     if (cache_.size() >= std::max<size_t>(params_.decoder_cache, 1)) {
         uint32_t victim = lru_.back();
@@ -153,15 +161,24 @@ LossyDecoder::nextInterval()
     return true;
 }
 
-bool
-LossyDecoder::decode(uint64_t *out)
+size_t
+LossyDecoder::read(uint64_t *out, size_t n)
 {
-    while (pos_ == interval_.size()) {
-        if (!nextInterval())
-            return false;
+    size_t got = 0;
+    while (got < n) {
+        if (pos_ == interval_.size()) {
+            if (!nextInterval())
+                break;
+            continue; // an empty interval record is possible
+        }
+        size_t avail = interval_.size() - pos_;
+        size_t take = (n - got) < avail ? (n - got) : avail;
+        std::memcpy(out + got, interval_.data() + pos_,
+                    take * sizeof(uint64_t));
+        got += take;
+        pos_ += take;
     }
-    *out = interval_[pos_++];
-    return true;
+    return got;
 }
 
 } // namespace atc::core

@@ -84,8 +84,11 @@ class LossyEncoder
      */
     LossyEncoder(const LossyParams &params, ChunkStore &store);
 
+    /** Feed a batch of addresses — the primary entry point. */
+    void write(const uint64_t *addrs, size_t n);
+
     /** Feed one address. */
-    void code(uint64_t addr);
+    void code(uint64_t addr) { write(&addr, 1); }
 
     /** Flush the final (possibly partial) interval. */
     void finish();
@@ -129,10 +132,16 @@ class LossyDecoder
                  std::vector<IntervalRecord> records);
 
     /**
+     * Produce up to @p n regenerated addresses — the primary entry.
+     * @return addresses produced; 0 means end of trace
+     */
+    size_t read(uint64_t *out, size_t n);
+
+    /**
      * Produce the next regenerated address.
      * @return false at end of trace
      */
-    bool decode(uint64_t *out);
+    bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
   private:
     /** Load (or fetch cached) decompressed chunk @p id. */

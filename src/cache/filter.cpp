@@ -49,4 +49,18 @@ CacheFilter::accessTagged(uint64_t byte_addr, bool is_instr, bool is_write,
     }
 }
 
+void
+FilterStage::write(const uint64_t *vals, size_t n)
+{
+    // Batch the surviving misses so the downstream stage sees spans,
+    // not single values.
+    batch_.clear();
+    for (size_t i = 0; i < n; ++i) {
+        if (auto miss = filter_.access(vals[i], is_instr_))
+            batch_.push_back(*miss);
+    }
+    if (!batch_.empty())
+        down_.write(batch_.data(), batch_.size());
+}
+
 } // namespace atc::cache

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/cache_model.hpp"
+#include "trace/pipeline.hpp"
 
 namespace atc::cache {
 
@@ -82,6 +83,46 @@ class CacheFilter
     CacheModel icache_;
     CacheModel dcache_;
     std::optional<CacheModel> l2_;
+};
+
+/**
+ * Composable pipeline stage wrapping a CacheFilter: consumes raw byte
+ * addresses and forwards the missing block addresses to a downstream
+ * sink (paper Figure 8: generator -> filter -> compressor as one
+ * chain). close() propagates downstream, sealing the pipeline.
+ */
+class FilterStage : public trace::TraceSink
+{
+  public:
+    /**
+     * @param down     downstream sink; must outlive the stage
+     * @param l1       configuration for both L1 caches
+     * @param is_instr route accesses to the I-cache instead of the D-cache
+     */
+    explicit FilterStage(trace::TraceSink &down,
+                         const CacheConfig &l1 = CacheConfig::paperL1(),
+                         bool is_instr = false)
+        : down_(down), filter_(l1), is_instr_(is_instr)
+    {}
+
+    /** As above, with a unified L2 behind the L1s. */
+    FilterStage(trace::TraceSink &down, const CacheConfig &l1,
+                const CacheConfig &l2, bool is_instr = false)
+        : down_(down), filter_(l1, l2), is_instr_(is_instr)
+    {}
+
+    void write(const uint64_t *vals, size_t n) override;
+
+    void close() override { down_.close(); }
+
+    /** @return the wrapped filter (for statistics). */
+    const CacheFilter &filter() const { return filter_; }
+
+  private:
+    trace::TraceSink &down_;
+    CacheFilter filter_;
+    bool is_instr_;
+    std::vector<uint64_t> batch_;
 };
 
 } // namespace atc::cache

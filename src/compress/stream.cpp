@@ -1,5 +1,7 @@
 #include "compress/stream.hpp"
 
+#include <cstring>
+
 #include "util/status.hpp"
 
 namespace atc::comp {
@@ -104,8 +106,7 @@ StreamDecompressor::read(uint8_t *data, size_t n)
         }
         size_t avail = block_.size() - pos_;
         size_t take = (n - got) < avail ? (n - got) : avail;
-        for (size_t i = 0; i < take; ++i)
-            data[got + i] = block_[pos_ + i];
+        std::memcpy(data + got, block_.data() + pos_, take);
         got += take;
         pos_ += take;
     }

@@ -20,8 +20,7 @@
 
 namespace atc::comp {
 
-/** Default block size: 1 MiB, the scale of a bzip2 -9 block. */
-constexpr size_t kDefaultBlockSize = 1u << 20;
+// kDefaultBlockSize lives in codec.hpp, next to the spec machinery.
 
 /** Accumulates bytes and emits codec frames into a sink. */
 class StreamCompressor : public util::ByteSink

@@ -66,33 +66,37 @@ TcgenEncoder::TcgenEncoder(const TcgenConfig &config,
                            util::ByteSink &code_out,
                            util::ByteSink &data_out)
     : bank_(config), scratch_(bank_.slots()),
-      code_stream_(comp::codecByName(config.codec), code_out,
-                   config.codec_block),
-      data_stream_(comp::codecByName(config.codec), data_out,
-                   config.codec_block)
+      codec_(comp::makeCodec(config.codec)),
+      code_stream_(*codec_.codec, code_out,
+                   codec_.blockOr(config.codec_block)),
+      data_stream_(*codec_.codec, data_out,
+                   codec_.blockOr(config.codec_block))
 {
 }
 
 void
-TcgenEncoder::code(uint64_t value)
+TcgenEncoder::write(const uint64_t *vals, size_t n)
 {
-    bank_.predictAll(scratch_.data());
-    int hit = -1;
-    for (int i = 0; i < bank_.slots(); ++i) {
-        if (scratch_[i] == value) {
-            hit = i;
-            break;
+    for (size_t k = 0; k < n; ++k) {
+        uint64_t value = vals[k];
+        bank_.predictAll(scratch_.data());
+        int hit = -1;
+        for (int i = 0; i < bank_.slots(); ++i) {
+            if (scratch_[i] == value) {
+                hit = i;
+                break;
+            }
         }
+        if (hit >= 0) {
+            code_stream_.writeByte(static_cast<uint8_t>(hit));
+        } else {
+            code_stream_.writeByte(kTcgenEscape);
+            util::writeLE<uint64_t>(data_stream_, value);
+            ++escapes_;
+        }
+        bank_.updateAll(value);
+        ++count_;
     }
-    if (hit >= 0) {
-        code_stream_.writeByte(static_cast<uint8_t>(hit));
-    } else {
-        code_stream_.writeByte(kTcgenEscape);
-        util::writeLE<uint64_t>(data_stream_, value);
-        ++escapes_;
-    }
-    bank_.updateAll(value);
-    ++count_;
 }
 
 void
@@ -106,29 +110,33 @@ TcgenDecoder::TcgenDecoder(const TcgenConfig &config,
                            util::ByteSource &code_in,
                            util::ByteSource &data_in)
     : bank_(config), scratch_(bank_.slots()),
-      code_stream_(comp::codecByName(config.codec), code_in),
-      data_stream_(comp::codecByName(config.codec), data_in)
+      codec_(comp::makeCodec(config.codec)),
+      code_stream_(*codec_.codec, code_in),
+      data_stream_(*codec_.codec, data_in)
 {
 }
 
-bool
-TcgenDecoder::decode(uint64_t *out)
+size_t
+TcgenDecoder::read(uint64_t *out, size_t n)
 {
-    uint8_t code;
-    if (code_stream_.read(&code, 1) == 0)
-        return false;
+    size_t got = 0;
+    while (got < n) {
+        uint8_t code;
+        if (code_stream_.read(&code, 1) == 0)
+            break;
 
-    uint64_t value;
-    if (code == kTcgenEscape) {
-        value = util::readLE<uint64_t>(data_stream_);
-    } else {
-        ATC_CHECK(code < bank_.slots(), "invalid predictor code");
-        bank_.predictAll(scratch_.data());
-        value = scratch_[code];
+        uint64_t value;
+        if (code == kTcgenEscape) {
+            value = util::readLE<uint64_t>(data_stream_);
+        } else {
+            ATC_CHECK(code < bank_.slots(), "invalid predictor code");
+            bank_.predictAll(scratch_.data());
+            value = scratch_[code];
+        }
+        bank_.updateAll(value);
+        out[got++] = value;
     }
-    bank_.updateAll(value);
-    *out = value;
-    return true;
+    return got;
 }
 
 TcgenResult
@@ -138,8 +146,7 @@ tcgenCompress(const std::vector<uint64_t> &trace, const TcgenConfig &config)
     util::VectorSink code_sink(result.code_bytes);
     util::VectorSink data_sink(result.data_bytes);
     TcgenEncoder enc(config, code_sink, data_sink);
-    for (uint64_t v : trace)
-        enc.code(v);
+    enc.write(trace.data(), trace.size());
     enc.finish();
     return result;
 }

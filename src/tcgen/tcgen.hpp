@@ -21,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "compress/stream.hpp"
 #include "predict/value_predictors.hpp"
+#include "trace/pipeline.hpp"
 
 namespace atc::tcg {
 
@@ -35,9 +37,9 @@ struct TcgenConfig
     int fcm1_ways = 3;
     /** log2 of table lines per predictor (paper: 2^20 lines). */
     int log2_lines = 20;
-    /** Back-end codec name (see comp::codecByName). */
+    /** Back-end codec spec (see comp::CodecSpec). */
     std::string codec = "bwc";
-    /** Back-end block size in bytes. */
+    /** Back-end block size; a `block=` spec parameter overrides this. */
     size_t codec_block = comp::kDefaultBlockSize;
 };
 
@@ -68,7 +70,7 @@ class PredictorBank
 constexpr uint8_t kTcgenEscape = 0xFF;
 
 /** Streaming compressor writing code and data streams to two sinks. */
-class TcgenEncoder
+class TcgenEncoder : public trace::TraceSink
 {
   public:
     /**
@@ -79,11 +81,17 @@ class TcgenEncoder
     TcgenEncoder(const TcgenConfig &config, util::ByteSink &code_out,
                  util::ByteSink &data_out);
 
+    /** Compress a batch of 64-bit values. */
+    void write(const uint64_t *vals, size_t n) override;
+
     /** Compress one 64-bit value. */
-    void code(uint64_t value);
+    void code(uint64_t value) { write(&value, 1); }
 
     /** Flush both streams; call exactly once. */
     void finish();
+
+    /** TraceSink finalization: flushes both streams. */
+    void close() override { finish(); }
 
     /** @return values coded so far. */
     uint64_t count() const { return count_; }
@@ -97,6 +105,7 @@ class TcgenEncoder
   private:
     PredictorBank bank_;
     std::vector<uint64_t> scratch_;
+    comp::ConfiguredCodec codec_;
     comp::StreamCompressor code_stream_;
     comp::StreamCompressor data_stream_;
     uint64_t count_ = 0;
@@ -104,7 +113,7 @@ class TcgenEncoder
 };
 
 /** Streaming decompressor reading the two streams back. */
-class TcgenDecoder
+class TcgenDecoder : public trace::TraceSource
 {
   public:
     /**
@@ -116,15 +125,22 @@ class TcgenDecoder
                  util::ByteSource &data_in);
 
     /**
+     * Decompress up to @p n values.
+     * @return values produced; 0 means end of trace
+     */
+    size_t read(uint64_t *out, size_t n) override;
+
+    /**
      * Decompress the next value.
      * @param out receives the value
      * @return false at end of trace
      */
-    bool decode(uint64_t *out);
+    bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
   private:
     PredictorBank bank_;
     std::vector<uint64_t> scratch_;
+    comp::ConfiguredCodec codec_;
     comp::StreamDecompressor code_stream_;
     comp::StreamDecompressor data_stream_;
 };

@@ -1,0 +1,50 @@
+#include "trace/pipeline.hpp"
+
+#include <cstring>
+
+namespace atc::trace {
+
+uint64_t
+pump(TraceSource &src, TraceSink &sink, size_t block)
+{
+    std::vector<uint64_t> buf(block);
+    uint64_t moved = 0;
+    size_t got;
+    while ((got = src.read(buf.data(), buf.size())) != 0) {
+        sink.write(buf.data(), got);
+        moved += got;
+    }
+    return moved;
+}
+
+std::vector<uint64_t>
+collect(TraceSource &src)
+{
+    std::vector<uint64_t> out;
+    VectorTraceSink sink(out);
+    pump(src, sink);
+    return out;
+}
+
+size_t
+VectorTraceSource::read(uint64_t *out, size_t n)
+{
+    size_t avail = in_.size() - pos_;
+    size_t take = n < avail ? n : avail;
+    if (take != 0)
+        std::memcpy(out, in_.data() + pos_, take * sizeof(uint64_t));
+    pos_ += take;
+    return take;
+}
+
+size_t
+GeneratorSource::read(uint64_t *out, size_t n)
+{
+    size_t take = n < remaining_ ? n : static_cast<size_t>(remaining_);
+    for (size_t i = 0; i < take; ++i)
+        out[i] = gen_.next();
+    remaining_ -= take;
+    return take;
+}
+
+} // namespace atc::trace

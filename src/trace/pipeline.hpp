@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Composable trace-pipeline interfaces.
+ *
+ * A trace pipeline moves 64-bit address records between stages in
+ * batches. TraceSink consumes batches; TraceSource produces them.
+ * AtcWriter/AtcReader, the cache filter stage, the TCgen codec and the
+ * synthetic generators all speak these interfaces, so the paper's
+ * workflows (e.g. Figure 8: generator -> cache filter -> compressor)
+ * compose as chains of objects instead of hand-written loops.
+ *
+ * Ownership is borrowed throughout: a stage must outlive the stages
+ * that reference it. close() finalizes a sink and propagates down the
+ * chain, so closing the head of a pipeline seals the whole thing.
+ */
+
+#ifndef ATC_TRACE_PIPELINE_HPP_
+#define ATC_TRACE_PIPELINE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/generators.hpp"
+
+namespace atc::trace {
+
+/** Abstract batch consumer of 64-bit trace records. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume @p n records starting at @p vals. */
+    virtual void write(const uint64_t *vals, size_t n) = 0;
+
+    /** Consume a single record. */
+    void put(uint64_t v) { write(&v, 1); }
+
+    /** Finalize this stage and everything downstream (default no-op). */
+    virtual void close() {}
+};
+
+/** Abstract batch producer of 64-bit trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce up to @p n records into @p out.
+     * @return records produced; 0 means end of trace
+     */
+    virtual size_t read(uint64_t *out, size_t n) = 0;
+
+    /** Produce a single record. @return false at end of trace. */
+    bool get(uint64_t *out) { return read(out, 1) == 1; }
+};
+
+/**
+ * Drive @p src into @p sink until the source is dry, moving records in
+ * blocks of @p block. Does NOT close the sink — callers decide when a
+ * pipeline is sealed (several sources may feed one sink).
+ * @return records moved
+ */
+uint64_t pump(TraceSource &src, TraceSink &sink, size_t block = 65536);
+
+/** Drain @p src completely into a vector. */
+std::vector<uint64_t> collect(TraceSource &src);
+
+/** Sink appending into a borrowed vector. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    explicit VectorTraceSink(std::vector<uint64_t> &out) : out_(out) {}
+
+    void
+    write(const uint64_t *vals, size_t n) override
+    {
+        out_.insert(out_.end(), vals, vals + n);
+    }
+
+  private:
+    std::vector<uint64_t> &out_;
+};
+
+/** Source reading from a borrowed vector. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(const std::vector<uint64_t> &in)
+        : in_(in)
+    {}
+
+    size_t read(uint64_t *out, size_t n) override;
+
+  private:
+    const std::vector<uint64_t> &in_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Source adapting an (unbounded) AccessGenerator into a bounded trace
+ * of @p count records.
+ */
+class GeneratorSource : public TraceSource
+{
+  public:
+    /** @param gen borrowed generator; must outlive the source. */
+    GeneratorSource(AccessGenerator &gen, uint64_t count)
+        : gen_(gen), remaining_(count)
+    {}
+
+    size_t read(uint64_t *out, size_t n) override;
+
+  private:
+    AccessGenerator &gen_;
+    uint64_t remaining_;
+};
+
+/**
+ * A sink that forwards every record to several downstream sinks —
+ * e.g. compress a trace and simulate it in one pass.
+ */
+class TeeSink : public TraceSink
+{
+  public:
+    /** @param sinks borrowed downstream sinks. */
+    explicit TeeSink(std::vector<TraceSink *> sinks)
+        : sinks_(std::move(sinks))
+    {}
+
+    void
+    write(const uint64_t *vals, size_t n) override
+    {
+        for (TraceSink *s : sinks_)
+            s->write(vals, n);
+    }
+
+    void
+    close() override
+    {
+        for (TraceSink *s : sinks_)
+            s->close();
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace atc::trace
+
+#endif // ATC_TRACE_PIPELINE_HPP_

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -100,8 +101,8 @@ class MemorySource : public ByteSource
     {
         size_t avail = size_ - pos_;
         size_t take = n < avail ? n : avail;
-        for (size_t i = 0; i < take; ++i)
-            data[i] = data_[pos_ + i];
+        if (take != 0)
+            std::memcpy(data, data_ + pos_, take);
         pos_ += take;
         return take;
     }

@@ -13,6 +13,7 @@
 #define ATC_UTIL_STATUS_HPP_
 
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,6 +64,67 @@ class Status
   private:
     bool ok_ = true;
     std::string msg_;
+};
+
+/**
+ * A Status or a value of type @p T: the result of an operation that can
+ * fail for user-level reasons. Either ok() and value() is valid, or
+ * !ok() and status() carries the error.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from an error status (must not be ok). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            status_ = Status::error("StatusOr built from an ok status");
+    }
+
+    /** Construct from a value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    /** @return true if a value is held. */
+    bool ok() const { return value_.has_value(); }
+
+    /** @return the status (ok when a value is held). */
+    const Status &status() const { return status_; }
+
+    /** @return the held value; throws Error if this is an error. */
+    T &
+    value()
+    {
+        status_.orThrow();
+        return *value_;
+    }
+
+    /** @return the held value; throws Error if this is an error. */
+    const T &
+    value() const
+    {
+        status_.orThrow();
+        return *value_;
+    }
+
+    /**
+     * Move the held value out; throws Error if this is an error.
+     * Afterwards ok() is false — a second value()/take() fails loudly
+     * instead of handing back a hollow moved-from object.
+     */
+    T
+    take()
+    {
+        status_.orThrow();
+        T out = std::move(*value_);
+        value_.reset();
+        status_ = Status::error("StatusOr value already taken");
+        return out;
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
 };
 
 [[noreturn]] void assertFail(const char *expr, const char *file, int line);

@@ -209,6 +209,13 @@ TEST(AtcContainer, AlternativeCodecSuffix)
     while (reader.decode(&v))
         out.push_back(v);
     EXPECT_EQ(out, trace);
+
+    // The suffix is also auto-detected when not passed.
+    core::AtcReader auto_reader(dir);
+    std::vector<uint64_t> auto_out(trace.size());
+    EXPECT_EQ(auto_reader.read(auto_out.data(), auto_out.size()),
+              trace.size());
+    EXPECT_EQ(auto_out, trace);
     fs::remove_all(dir);
 }
 

@@ -84,6 +84,112 @@ TEST(CodecRegistry, KnowsAllCodecs)
     EXPECT_THROW(comp::codecByName("bzip2"), util::Error);
 }
 
+TEST(CodecRegistry, ListsBuiltins)
+{
+    auto &reg = comp::CodecRegistry::instance();
+    EXPECT_TRUE(reg.has("bwc"));
+    EXPECT_TRUE(reg.has("lzh"));
+    EXPECT_TRUE(reg.has("store"));
+    EXPECT_FALSE(reg.has("bzip2"));
+    auto names = reg.names();
+    EXPECT_GE(names.size(), 3u);
+}
+
+TEST(CodecRegistry, RuntimeRegistrationExtendsLookup)
+{
+    auto &reg = comp::CodecRegistry::instance();
+    reg.add("null2", [](const comp::CodecSpec &spec)
+                -> atc::util::StatusOr<
+                    std::shared_ptr<const comp::Codec>> {
+        if (!spec.params.empty())
+            return util::Status::error("null2 takes no parameters");
+        return std::shared_ptr<const comp::Codec>(
+            std::make_shared<comp::StoreCodec>());
+    });
+    auto cc = reg.create("null2:block=2k");
+    ASSERT_TRUE(cc.ok()) << cc.status().message();
+    EXPECT_EQ(cc.value().block_size, 2048u);
+    EXPECT_FALSE(reg.create("null2:junk=1").ok());
+}
+
+TEST(CodecSpec, ParsesPlainNames)
+{
+    auto spec = comp::CodecSpec::parse("bwc");
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().name, "bwc");
+    EXPECT_TRUE(spec.value().params.empty());
+    EXPECT_EQ(spec.value().toString(), "bwc");
+}
+
+TEST(CodecSpec, ParsesParameters)
+{
+    auto spec = comp::CodecSpec::parse("bwc:block=900k,foo=bar");
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().name, "bwc");
+    ASSERT_EQ(spec.value().params.size(), 2u);
+    ASSERT_NE(spec.value().find("block"), nullptr);
+    EXPECT_EQ(*spec.value().find("block"), "900k");
+    ASSERT_NE(spec.value().find("foo"), nullptr);
+    EXPECT_EQ(*spec.value().find("foo"), "bar");
+    EXPECT_EQ(spec.value().find("missing"), nullptr);
+    EXPECT_EQ(spec.value().toString(), "bwc:block=900k,foo=bar");
+}
+
+TEST(CodecSpec, SizeParamHandlesSuffixes)
+{
+    auto spec = comp::CodecSpec::parse("x:a=7,b=2k,c=3m,d=1g");
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().sizeParam("a", 0).value(), 7u);
+    EXPECT_EQ(spec.value().sizeParam("b", 0).value(), 2048u);
+    EXPECT_EQ(spec.value().sizeParam("c", 0).value(), 3u << 20);
+    EXPECT_EQ(spec.value().sizeParam("d", 0).value(), 1u << 30);
+    EXPECT_EQ(spec.value().sizeParam("absent", 42).value(), 42u);
+}
+
+TEST(CodecSpec, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", ":", "bwc:", "bwc:block", "bwc:block=", "bwc:=v",
+          "bwc:block=1,", "bwc:block=1,block=2", "bw c", "bwc:a b=1"}) {
+        EXPECT_FALSE(comp::CodecSpec::parse(bad).ok()) << "'" << bad
+                                                       << "'";
+    }
+}
+
+TEST(CodecSpec, RejectsMalformedSizes)
+{
+    // e/f: the digits pass the raw-value cap but the k/m/g multiplier
+    // would wrap uint64_t — must be out-of-range, not a tiny size.
+    auto spec = comp::CodecSpec::parse(
+        "x:a=k,b=9q,c=0,d=12kb,e=281474976710656g,f=562949953421312k");
+    ASSERT_TRUE(spec.ok());
+    for (const char *key : {"a", "b", "c", "d", "e", "f"})
+        EXPECT_FALSE(spec.value().sizeParam(key, 1).ok()) << key;
+}
+
+TEST(CodecSpec, RegistryRejectsUnknownParameters)
+{
+    EXPECT_FALSE(
+        comp::CodecRegistry::instance().create("bwc:window=1k").ok());
+    EXPECT_FALSE(
+        comp::CodecRegistry::instance().create("lzh:level=9").ok());
+}
+
+TEST(CodecSpec, MakeCodecAppliesBlockParameter)
+{
+    comp::ConfiguredCodec cc = comp::makeCodec("lzh:block=64k");
+    EXPECT_EQ(cc.codec->name(), "lzh");
+    EXPECT_EQ(cc.block_size, 64u * 1024);
+    EXPECT_EQ(cc.blockOr(123), 64u * 1024);
+    EXPECT_EQ(cc.spec, "lzh:block=64k");
+
+    comp::ConfiguredCodec plain = comp::makeCodec("lzh");
+    EXPECT_EQ(plain.block_size, 0u);
+    EXPECT_EQ(plain.blockOr(123), 123u);
+    EXPECT_THROW(comp::makeCodec("bwc:block=x"), util::Error);
+    EXPECT_THROW(comp::makeCodec("nope"), util::Error);
+}
+
 TEST(Bwc, CompressesPeriodicDataWell)
 {
     auto data = makeData(1, 1 << 20, 1);
