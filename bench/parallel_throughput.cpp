@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Parallel compression/decompression throughput sweep.
+ *
+ * Compresses one synthetic-generator corpus with the parallel drivers
+ * at increasing thread counts and reports wall-clock throughput plus
+ * speedup over one thread, as JSON (for the CI perf-trajectory
+ * artifact) and as a human-readable table on stderr. Containers are
+ * byte-identical across thread counts — the sweep asserts it.
+ *
+ * Usage: parallel_throughput [addresses] [threads-csv] [json-path]
+ *   addresses   corpus length (default 2000000, scaled by
+ *               ATC_BENCH_SCALE)
+ *   threads-csv thread counts to sweep (default "1,2,4,8")
+ *   json-path   output file (default parallel_throughput.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/parallel_atc.hpp"
+#include "trace/pipeline.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::vector<size_t>
+parseThreadList(const char *csv)
+{
+    std::vector<size_t> out;
+    const char *p = csv;
+    while (*p) {
+        char *end = nullptr;
+        size_t v = std::strtoull(p, &end, 10);
+        if (end == p)
+            break;
+        if (v > 0)
+            out.push_back(v);
+        p = (*end == ',') ? end + 1 : end;
+    }
+    if (out.empty())
+        out = {1, 2, 4, 8};
+    return out;
+}
+
+struct Row
+{
+    std::string mode;
+    size_t threads;
+    double secs;
+    double maddrs;
+    double speedup;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace atc;
+
+    size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                        : bench::scaledLen(2'000'000);
+    std::vector<size_t> threads =
+        parseThreadList(argc > 2 ? argv[2] : "1,2,4,8");
+    std::string json_path =
+        argc > 3 ? argv[3] : "parallel_throughput.json";
+
+    // Synthetic generator corpus (no cache filter: the sweep measures
+    // the compressor, not the workload model).
+    const trace::SyntheticBenchmark &bm =
+        trace::benchmarkByName("429.mcf");
+    std::vector<uint64_t> corpus;
+    corpus.reserve(n);
+    {
+        trace::GeneratorPtr gen = bm.makeData(1);
+        trace::GeneratorSource src(*gen, n);
+        trace::VectorTraceSink sink(corpus);
+        trace::pump(src, sink);
+    }
+    std::fprintf(stderr,
+                 "corpus: %zu addresses (%s), sweeping threads:", n,
+                 bm.name.c_str());
+    for (size_t t : threads)
+        std::fprintf(stderr, " %zu", t);
+    std::fprintf(stderr, "\n");
+
+    core::AtcOptions lossy_opt;
+    lossy_opt.mode = core::Mode::Lossy;
+    lossy_opt.lossy.interval_len = n / 32 + 1;
+    lossy_opt.lossy.epsilon = 0.0; // all chunks: maximum codec work
+    lossy_opt.pipeline.buffer_addrs = n / 64 + 1;
+
+    core::AtcOptions lossless_opt;
+    lossless_opt.mode = core::Mode::Lossless;
+    lossless_opt.pipeline.buffer_addrs = n / 16 + 1;
+    lossless_opt.pipeline.codec_block = 256 * 1024;
+
+    std::vector<Row> rows;
+    double base_lossy = 0, base_lossless = 0, base_read = 0;
+    core::MemoryStore reference; // first thread count's lossy container
+
+    for (size_t t : threads) {
+        parallel::ParallelOptions popt;
+        popt.threads = t;
+
+        // Lossy compression sweep.
+        core::MemoryStore lossy_store;
+        auto t0 = Clock::now();
+        {
+            parallel::ParallelAtcWriter w(lossy_store, lossy_opt, popt);
+            w.write(corpus.data(), corpus.size());
+            w.close();
+        }
+        double s = seconds(t0, Clock::now());
+        if (base_lossy == 0)
+            base_lossy = s;
+        rows.push_back({"lossy_compress", t, s,
+                        static_cast<double>(n) / s / 1e6,
+                        base_lossy / s});
+
+        // Byte identity across thread counts, checked in passing.
+        if (t == threads.front()) {
+            reference = std::move(lossy_store);
+        } else {
+            bool same =
+                reference.chunkCount() == lossy_store.chunkCount() &&
+                reference.infoBytes() == lossy_store.infoBytes();
+            for (size_t id = 0; same && id < reference.chunkCount();
+                 ++id)
+                same = reference.chunkBytes(static_cast<uint32_t>(id)) ==
+                       lossy_store.chunkBytes(static_cast<uint32_t>(id));
+            if (!same) {
+                std::fprintf(stderr,
+                             "FATAL: container differs at %zu threads\n",
+                             t);
+                return 1;
+            }
+        }
+
+        // Lossless compression sweep.
+        core::MemoryStore lossless_store;
+        t0 = Clock::now();
+        {
+            parallel::ParallelAtcWriter w(lossless_store, lossless_opt,
+                                          popt);
+            w.write(corpus.data(), corpus.size());
+            w.close();
+        }
+        s = seconds(t0, Clock::now());
+        if (base_lossless == 0)
+            base_lossless = s;
+        rows.push_back({"lossless_compress", t, s,
+                        static_cast<double>(n) / s / 1e6,
+                        base_lossless / s});
+
+        // Decompression sweep (prefetching reader over the reference).
+        t0 = Clock::now();
+        {
+            parallel::ParallelAtcReader r(reference, popt);
+            uint64_t buf[65536];
+            while (r.read(buf, 65536) != 0) {
+            }
+        }
+        s = seconds(t0, Clock::now());
+        if (base_read == 0)
+            base_read = s;
+        rows.push_back({"lossy_decompress", t, s,
+                        static_cast<double>(n) / s / 1e6,
+                        base_read / s});
+
+        std::fprintf(stderr,
+                     "  %zu thread(s): lossy %.2fs, lossless %.2fs, "
+                     "decode %.2fs\n",
+                     t, rows[rows.size() - 3].secs,
+                     rows[rows.size() - 2].secs,
+                     rows[rows.size() - 1].secs);
+    }
+
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"parallel_throughput\",\n"
+                 "  \"corpus\": \"%s\",\n  \"addresses\": %zu,\n"
+                 "  \"codec\": \"bwc\",\n  \"results\": [\n",
+                 bm.name.c_str(), n);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(json,
+                     "    {\"mode\": \"%s\", \"threads\": %zu, "
+                     "\"seconds\": %.4f, \"maddrs_per_s\": %.3f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.mode.c_str(), r.threads, r.secs, r.maddrs,
+                     r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -4,37 +4,77 @@
  * and write the (regenerated) trace as raw 64-bit values on standard
  * output. The chunk suffix is auto-detected from INFO.<suffix>.
  *
- * Usage: atc2bin <dirname>
+ * Usage: atc2bin [-j N] <dirname>
+ *   -j N  decode with N worker threads prefetching chunks ahead
  *
  * Example (paper Figure 8):
- *   atc2bin foobar | wc -c
+ *   atc2bin -j 4 foobar | wc -c
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "atc/atc.hpp"
+#include "parallel/parallel_atc.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace atc;
 
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <dirname>\n", argv[0]);
+    size_t threads = 1;
+    const char *dir = nullptr;
+    bool bad_args = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 ||
+            std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 >= argc)
+                bad_args = true;
+            else
+                threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "-j", 2) == 0 &&
+                   argv[i][2] != '\0') {
+            threads = std::strtoull(argv[i] + 2, nullptr, 10);
+        } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+            bad_args = true; // unknown option, not a directory
+        } else {
+            dir = argv[i];
+        }
+    }
+    if (dir == nullptr || bad_args) {
+        std::fprintf(stderr, "usage: %s [-j N] <dirname>\n", argv[0]);
         return 2;
     }
 
-    auto reader = core::AtcReader::open(argv[1]);
-    if (!reader.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     reader.status().message().c_str());
-        return 1;
+    std::unique_ptr<core::AtcReader> serial;
+    std::unique_ptr<parallel::ParallelAtcReader> par;
+    if (threads > 1) {
+        parallel::ParallelOptions popt;
+        popt.threads = threads;
+        auto opened = parallel::ParallelAtcReader::open(dir, popt);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         opened.status().message().c_str());
+            return 1;
+        }
+        par = opened.take();
+    } else {
+        auto opened = core::AtcReader::open(dir);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         opened.status().message().c_str());
+            return 1;
+        }
+        serial = opened.take();
     }
 
     std::vector<uint64_t> batch(1 << 16);
     for (;;) {
-        auto got = reader.value()->tryRead(batch.data(), batch.size());
+        auto got = par ? par->tryRead(batch.data(), batch.size())
+                       : serial->tryRead(batch.data(), batch.size());
         if (!got.ok()) {
             std::fprintf(stderr, "error: %s\n",
                          got.status().message().c_str());

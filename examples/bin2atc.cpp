@@ -3,32 +3,76 @@
  * CLI mirroring the paper's Figure 6: read raw 64-bit values from
  * standard input and write an ATC-compressed directory.
  *
- * Usage: bin2atc <dirname> [c|k] [codec-spec]
+ * Usage: bin2atc [-j N] <dirname> [c|k] [codec-spec]
+ *   -j N        compress with N worker threads (default 1 = serial)
  *   c           lossless compression
  *   k           lossy compression (default, as in the paper's example)
  *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
  *
  * Example (paper Figure 8):
- *   cat /dev/urandom | head -c 800000000 | bin2atc foobar
+ *   cat /dev/urandom | head -c 800000000 | bin2atc -j 8 foobar
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "atc/atc.hpp"
+#include "parallel/parallel_atc.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [-j N] <dirname> [c|k] [codec-spec]\n",
+                 argv0);
+    return 2;
+}
+
+/** Parse a -j/--threads option at argv[i]; advances i past it. */
+bool
+parseThreads(int argc, char **argv, int &i, size_t &threads)
+{
+    const char *arg = argv[i];
+    if (std::strcmp(arg, "-j") == 0 ||
+        std::strcmp(arg, "--threads") == 0) {
+        if (i + 1 >= argc)
+            return false;
+        threads = std::strtoull(argv[++i], nullptr, 10);
+        return true;
+    }
+    if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+        threads = std::strtoull(arg + 2, nullptr, 10);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace atc;
 
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <dirname> [c|k] [codec-spec]\n",
-                     argv[0]);
-        return 2;
+    size_t threads = 1;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-' && argv[i][1] != '\0') {
+            if (!parseThreads(argc, argv, i, threads))
+                return usage(argv[0]);
+        } else {
+            positional.push_back(argv[i]);
+        }
     }
-    const char mode = argc > 2 ? argv[2][0] : 'k';
+    if (positional.empty())
+        return usage(argv[0]);
+
+    const char mode = positional.size() > 1 ? positional[1][0] : 'k';
     if (mode != 'c' && mode != 'k') {
         std::fprintf(stderr, "mode must be 'c' (lossless) or 'k' "
                              "(lossy)\n");
@@ -37,14 +81,36 @@ main(int argc, char **argv)
 
     core::AtcOptions options;
     options.mode = mode == 'k' ? core::Mode::Lossy : core::Mode::Lossless;
-    if (argc > 3)
-        options.pipeline.codec = argv[3];
+    if (positional.size() > 2)
+        options.pipeline.codec = positional[2];
 
-    auto writer = core::AtcWriter::open(argv[1], options);
-    if (!writer.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     writer.status().message().c_str());
-        return 1;
+    // Both writers speak TraceSink; only construction and the close /
+    // count calls differ.
+    std::unique_ptr<core::AtcWriter> serial;
+    std::unique_ptr<parallel::ParallelAtcWriter> par;
+    trace::TraceSink *sink = nullptr;
+    if (threads > 1) {
+        parallel::ParallelOptions popt;
+        popt.threads = threads;
+        auto opened =
+            parallel::ParallelAtcWriter::open(positional[0], options,
+                                              popt);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         opened.status().message().c_str());
+            return 1;
+        }
+        par = opened.take();
+        sink = par.get();
+    } else {
+        auto opened = core::AtcWriter::open(positional[0], options);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         opened.status().message().c_str());
+            return 1;
+        }
+        serial = opened.take();
+        sink = serial.get();
     }
 
     try {
@@ -52,19 +118,20 @@ main(int argc, char **argv)
         size_t got;
         while ((got = std::fread(batch.data(), sizeof(uint64_t),
                                  batch.size(), stdin)) > 0)
-            writer.value()->write(batch.data(), got);
+            sink->write(batch.data(), got);
     } catch (const util::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
 
-    util::Status closed = writer.value()->tryClose();
+    util::Status closed = par ? par->tryClose() : serial->tryClose();
     if (!closed.ok()) {
         std::fprintf(stderr, "error: %s\n", closed.message().c_str());
         return 1;
     }
-    std::fprintf(stderr, "%llu values compressed into %s\n",
-                 static_cast<unsigned long long>(writer.value()->count()),
-                 argv[1]);
+    uint64_t count = par ? par->count() : serial->count();
+    std::fprintf(stderr, "%llu values compressed into %s (%zu thread%s)\n",
+                 static_cast<unsigned long long>(count), positional[0],
+                 threads, threads == 1 ? "" : "s");
     return 0;
 }

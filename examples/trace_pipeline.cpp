@@ -7,35 +7,97 @@
  * The stages are composed through the trace-pipeline interfaces: an
  * AccessGenerator feeds a cache::FilterStage whose miss stream fans out
  * (TeeSink) into a vector and both compressors in a single pass — no
- * hand-written per-stage loops.
+ * hand-written per-stage loops. With -j N the compressors are the
+ * parallel drivers (byte-identical containers, N worker threads).
  *
- * Usage: trace_pipeline [benchmark] [addresses]
+ * Usage: trace_pipeline [-j N] [benchmark] [addresses]
+ *   -j N       compress/decompress with N worker threads
  *   benchmark  suite entry name (default 429.mcf)
  *   addresses  filtered trace length (default 1000000)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "atc/atc.hpp"
+#include "parallel/parallel_atc.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/stats.hpp"
 #include "trace/suite.hpp"
+
+namespace {
+
+/** Serial or parallel compressor behind one TraceSink facade. */
+struct Compressor
+{
+    std::unique_ptr<atc::core::AtcWriter> serial;
+    std::unique_ptr<atc::parallel::ParallelAtcWriter> par;
+
+    atc::trace::TraceSink *
+    sink()
+    {
+        return par ? static_cast<atc::trace::TraceSink *>(par.get())
+                   : serial.get();
+    }
+
+    const atc::core::LossyStats &
+    lossyStats() const
+    {
+        return par ? par->lossyStats() : serial->lossyStats();
+    }
+};
+
+Compressor
+makeCompressor(atc::core::ChunkStore &store,
+               const atc::core::AtcOptions &opt, size_t threads)
+{
+    Compressor c;
+    if (threads > 1) {
+        atc::parallel::ParallelOptions popt;
+        popt.threads = threads;
+        c.par = std::make_unique<atc::parallel::ParallelAtcWriter>(
+            store, opt, popt);
+    } else {
+        c.serial = std::make_unique<atc::core::AtcWriter>(store, opt);
+    }
+    return c;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace atc;
 
-    std::string name = argc > 1 ? argv[1] : "429.mcf";
-    size_t count = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                            : 1'000'000;
+    size_t threads = 1;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-j") == 0 ||
+            std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 < argc)
+                threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "-j", 2) == 0 &&
+                   argv[i][2] != '\0') {
+            threads = std::strtoull(argv[i] + 2, nullptr, 10);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    std::string name = !positional.empty() ? positional[0] : "429.mcf";
+    size_t count = positional.size() > 1
+                       ? std::strtoull(positional[1], nullptr, 10)
+                       : 1'000'000;
 
     const trace::SyntheticBenchmark &bench = trace::benchmarkByName(name);
     std::printf("Benchmark %s (class %s): collecting %zu cache-filtered "
-                "addresses\n",
-                bench.name.c_str(), bench.klass.c_str(), count);
+                "addresses (%zu thread%s)\n",
+                bench.name.c_str(), bench.klass.c_str(), count, threads,
+                threads == 1 ? "" : "s");
     std::printf("  filter: two 32 KB / 4-way / LRU / 64 B L1 caches "
                 "(I and D)\n");
 
@@ -55,16 +117,17 @@ main(int argc, char **argv)
     core::AtcOptions lossless_opt;
     lossless_opt.mode = core::Mode::Lossless;
     lossless_opt.pipeline.buffer_addrs = count / 10;
-    core::AtcWriter lossless(lossless_store, lossless_opt);
+    Compressor lossless =
+        makeCompressor(lossless_store, lossless_opt, threads);
 
     core::AtcOptions lossy_opt;
     lossy_opt.mode = core::Mode::Lossy;
     lossy_opt.lossy.interval_len = count / 100;
     lossy_opt.pipeline.buffer_addrs = count / 100;
-    core::AtcWriter lossy(lossy_store, lossy_opt);
+    Compressor lossy = makeCompressor(lossy_store, lossy_opt, threads);
 
     trace::VectorTraceSource source(addrs);
-    trace::TeeSink fanout({&lossless, &lossy});
+    trace::TeeSink fanout({lossless.sink(), lossy.sink()});
     trace::pump(source, fanout);
     fanout.close();
 
@@ -83,12 +146,23 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ls.intervals));
 
     // Verify the regenerated length (always preserved) by draining the
-    // reader as a TraceSource.
-    core::AtcReader reader(lossy_store);
-    uint64_t buf[4096];
-    size_t n = 0, got;
-    while ((got = reader.read(buf, 4096)) != 0)
-        n += got;
+    // reader as a TraceSource — the parallel reader when -j asked.
+    size_t n = 0;
+    {
+        std::unique_ptr<trace::TraceSource> reader;
+        if (threads > 1) {
+            parallel::ParallelOptions popt;
+            popt.threads = threads;
+            reader = std::make_unique<parallel::ParallelAtcReader>(
+                lossy_store, popt);
+        } else {
+            reader = std::make_unique<core::AtcReader>(lossy_store);
+        }
+        uint64_t buf[4096];
+        size_t got;
+        while ((got = reader->read(buf, 4096)) != 0)
+            n += got;
+    }
     std::printf("  lossy regeneration: %zu addresses (%s)\n", n,
                 n == addrs.size() ? "OK" : "MISMATCH");
     if (n != addrs.size())

@@ -1,149 +1,16 @@
 #include "atc/atc.hpp"
 
-#include <bit>
-#include <cstring>
-#include <filesystem>
-
+#include "atc/info.hpp"
 #include "util/status.hpp"
 
 namespace atc::core {
-
-namespace {
-
-constexpr char kMagic[4] = {'A', 'T', 'C', 'T'};
-constexpr uint8_t kVersion = 1;
-
-void
-writeString(util::ByteSink &sink, const std::string &s)
-{
-    ATC_CHECK(s.size() < 256, "codec spec too long for INFO preamble");
-    sink.writeByte(static_cast<uint8_t>(s.size()));
-    sink.write(reinterpret_cast<const uint8_t *>(s.data()), s.size());
-}
-
-std::string
-readString(util::ByteSource &src)
-{
-    uint8_t len;
-    src.readExact(&len, 1);
-    std::string s(len, '\0');
-    src.readExact(reinterpret_cast<uint8_t *>(s.data()), len);
-    return s;
-}
-
-void
-writeRecord(util::ByteSink &sink, const IntervalRecord &rec)
-{
-    sink.writeByte(static_cast<uint8_t>(rec.kind));
-    util::writeVarint(sink, rec.chunk_id);
-    util::writeVarint(sink, rec.length);
-    if (rec.kind == IntervalRecord::Kind::Imitate) {
-        sink.writeByte(rec.trans.plane_mask);
-        for (int j = 0; j < 8; ++j) {
-            if (rec.trans.plane_mask & (1u << j))
-                sink.write(rec.trans.t[j].data(), 256);
-        }
-    }
-}
-
-IntervalRecord
-readRecord(util::ByteSource &src)
-{
-    IntervalRecord rec;
-    uint8_t kind;
-    src.readExact(&kind, 1);
-    ATC_CHECK(kind <= 1, "corrupt interval record");
-    rec.kind = static_cast<IntervalRecord::Kind>(kind);
-    rec.chunk_id = static_cast<uint32_t>(util::readVarint(src));
-    rec.length = util::readVarint(src);
-    if (rec.kind == IntervalRecord::Kind::Imitate) {
-        src.readExact(&rec.trans.plane_mask, 1);
-        for (int j = 0; j < 8; ++j) {
-            if (rec.trans.plane_mask & (1u << j))
-                src.readExact(rec.trans.t[j].data(), 256);
-        }
-    }
-    return rec;
-}
-
-/** @return the codec *name* of @p spec, for use as a file suffix. */
-std::string
-codecSuffix(const std::string &spec)
-{
-    auto parsed = comp::CodecSpec::parse(spec);
-    if (!parsed.ok())
-        util::raise(parsed.status().message());
-    return parsed.value().name;
-}
-
-/**
- * Auto-detect the chunk-file suffix of a directory container by
- * globbing for `INFO.<suffix>`. With several candidates (containers
- * sharing a directory), the one whose INFO-recorded codec name matches
- * its own suffix wins.
- */
-std::string
-detectSuffix(const std::string &dir)
-{
-    namespace fs = std::filesystem;
-
-    // Every filesystem call goes through the error_code overloads so a
-    // racing delete or permission change surfaces as util::Error, not
-    // as an fs::filesystem_error escaping the Status boundary.
-    std::vector<std::string> suffixes;
-    std::error_code ec;
-    fs::directory_iterator it(dir, ec), end;
-    ATC_CHECK(!ec, "cannot read trace directory " + dir);
-    for (; it != end; it.increment(ec)) {
-        std::error_code entry_ec;
-        if (!it->is_regular_file(entry_ec) || entry_ec)
-            continue;
-        std::string fn = it->path().filename().string();
-        if (fn.rfind("INFO.", 0) == 0 && fn.size() > 5)
-            suffixes.push_back(fn.substr(5));
-    }
-    // An increment error ends the loop with ec set (it becomes end()).
-    ATC_CHECK(!ec, "cannot read trace directory " + dir);
-    ATC_CHECK(!suffixes.empty(),
-              "no INFO.<suffix> file in " + dir +
-                  " (not an ATC container?)");
-    if (suffixes.size() == 1)
-        return suffixes.front();
-
-    std::vector<std::string> matching;
-    for (const std::string &suffix : suffixes) {
-        try {
-            util::FileSource info(dir + "/INFO." + suffix);
-            char magic[4];
-            info.readExact(reinterpret_cast<uint8_t *>(magic), 4);
-            if (std::memcmp(magic, kMagic, 4) != 0)
-                continue;
-            uint8_t skip[2]; // version, mode
-            info.readExact(skip, 2);
-            auto parsed = comp::CodecSpec::parse(readString(info));
-            if (parsed.ok() && parsed.value().name == suffix)
-                matching.push_back(suffix);
-        } catch (const util::Error &) {
-            // Unreadable candidate; keep looking.
-        }
-    }
-    ATC_CHECK(!matching.empty(),
-              "no readable ATC container among the INFO.* files in " +
-                  dir);
-    ATC_CHECK(matching.size() == 1,
-              "ambiguous container: several INFO.* files in " + dir +
-                  "; pass an explicit suffix");
-    return matching.front();
-}
-
-} // namespace
 
 AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
     : store_(&store), options_(options),
       codec_(comp::makeCodec(options.pipeline.codec))
 {
-    // writeString's limit, enforced up front so a bad spec fails at
-    // construction rather than after everything has been compressed.
+    // writeContainerInfo's limit, enforced up front so a bad spec fails
+    // at construction rather than after everything has been compressed.
     ATC_CHECK(codec_.spec.size() < 256,
               "codec spec too long for INFO preamble");
     options_.lossy.chunk_params = options_.pipeline;
@@ -158,7 +25,7 @@ AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
 
 AtcWriter::AtcWriter(const std::string &dir, const AtcOptions &options)
     : owned_store_(std::make_unique<DirectoryStore>(
-          dir, codecSuffix(options.pipeline.codec))),
+          dir, containerSuffix(options.pipeline.codec))),
       store_(owned_store_.get()), options_(options),
       codec_(comp::makeCodec(options.pipeline.codec))
 {
@@ -217,37 +84,16 @@ AtcWriter::lossyStats() const
 void
 AtcWriter::writeInfo()
 {
-    auto info = store_->createInfo();
-
-    // Uncompressed preamble. The canonical codec spec is persisted so a
-    // reader reconstructs the exact codec configuration on open.
-    info->write(reinterpret_cast<const uint8_t *>(kMagic), 4);
-    info->writeByte(kVersion);
-    info->writeByte(static_cast<uint8_t>(options_.mode));
-    writeString(*info, codec_.spec);
-
-    // Compressed payload.
-    comp::StreamCompressor payload(
-        *codec_.codec, *info,
-        codec_.blockOr(options_.pipeline.codec_block));
-    // The mode is echoed inside the CRC-protected payload so that a
-    // corrupted preamble cannot silently reinterpret the container.
-    payload.writeByte(static_cast<uint8_t>(options_.mode));
-    payload.writeByte(static_cast<uint8_t>(options_.pipeline.transform));
-    util::writeVarint(payload, options_.pipeline.buffer_addrs);
-    util::writeVarint(payload, count_);
-    if (options_.mode == Mode::Lossy) {
-        util::writeVarint(payload, options_.lossy.interval_len);
-        util::writeLE<uint64_t>(payload,
-                                std::bit_cast<uint64_t>(
-                                    options_.lossy.epsilon));
-        util::writeVarint(payload, lossy_->stats().chunks_created);
-        util::writeVarint(payload, lossy_->records().size());
-        for (const IntervalRecord &rec : lossy_->records())
-            writeRecord(payload, rec);
+    if (options_.mode == Mode::Lossless) {
+        writeContainerInfo(*store_, codec_, options_.mode,
+                           options_.pipeline, count_, nullptr, 0,
+                           nullptr);
+    } else {
+        writeContainerInfo(*store_, codec_, options_.mode,
+                           options_.pipeline, count_, &options_.lossy,
+                           lossy_->stats().chunks_created,
+                           &lossy_->records());
     }
-    payload.finish();
-    info->flush();
 }
 
 void
@@ -283,8 +129,8 @@ AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
 }
 
 AtcReader::AtcReader(const std::string &dir, size_t decoder_cache)
-    : owned_store_(
-          std::make_unique<DirectoryStore>(dir, detectSuffix(dir))),
+    : owned_store_(std::make_unique<DirectoryStore>(
+          dir, detectContainerSuffix(dir))),
       store_(owned_store_.get())
 {
     openContainer(decoder_cache);
@@ -323,65 +169,25 @@ AtcReader::~AtcReader() = default;
 void
 AtcReader::openContainer(size_t decoder_cache)
 {
-    auto info = store_->openInfo();
-
-    char magic[4];
-    info->readExact(reinterpret_cast<uint8_t *>(magic), 4);
-    ATC_CHECK(std::memcmp(magic, kMagic, 4) == 0, "not an ATC container");
-    uint8_t version;
-    info->readExact(&version, 1);
-    ATC_CHECK(version == kVersion, "unsupported ATC container version");
-    uint8_t mode;
-    info->readExact(&mode, 1);
-    ATC_CHECK(mode <= 1, "corrupt ATC container mode");
-    mode_ = static_cast<Mode>(mode);
-    codec_spec_ = readString(*info);
-
-    auto cc = comp::CodecRegistry::instance().create(codec_spec_);
-    if (!cc.ok())
-        util::raise("cannot reconstruct container codec: " +
-                    cc.status().message());
-    comp::ConfiguredCodec codec = cc.take();
-
-    comp::StreamDecompressor payload(*codec.codec, *info);
-    uint8_t mode_echo;
-    payload.readExact(&mode_echo, 1);
-    ATC_CHECK(mode_echo == mode,
-              "ATC container mode mismatch (corrupt preamble)");
-    uint8_t transform;
-    payload.readExact(&transform, 1);
-    ATC_CHECK(transform <= 3, "corrupt ATC transform id");
-
-    LosslessParams pipeline;
-    pipeline.transform = static_cast<Transform>(transform);
-    pipeline.buffer_addrs =
-        static_cast<size_t>(util::readVarint(payload));
-    pipeline.codec = codec.spec;
-    count_ = util::readVarint(payload);
+    ContainerInfo info = readContainerInfo(*store_);
+    mode_ = info.mode;
+    codec_spec_ = info.codec_spec;
+    count_ = info.count;
 
     if (mode_ == Mode::Lossless) {
         chunk_src_ = store_->openChunk(0);
-        lossless_ = std::make_unique<LosslessReader>(pipeline, *chunk_src_);
+        lossless_ = std::make_unique<LosslessReader>(info.pipeline,
+                                                     *chunk_src_);
         return;
     }
 
     LossyParams params;
-    params.chunk_params = pipeline;
+    params.chunk_params = info.pipeline;
     params.decoder_cache = decoder_cache;
-    params.interval_len = util::readVarint(payload);
-    params.epsilon =
-        std::bit_cast<double>(util::readLE<uint64_t>(payload));
-    uint64_t chunk_count = util::readVarint(payload);
-    uint64_t record_count = util::readVarint(payload);
-    std::vector<IntervalRecord> records;
-    records.reserve(record_count);
-    for (uint64_t i = 0; i < record_count; ++i) {
-        records.push_back(readRecord(payload));
-        ATC_CHECK(records.back().chunk_id < chunk_count,
-                  "interval record references unknown chunk");
-    }
+    params.interval_len = info.interval_len;
+    params.epsilon = info.epsilon;
     lossy_ = std::make_unique<LossyDecoder>(params, *store_,
-                                            std::move(records));
+                                            std::move(info.records));
 }
 
 size_t
@@ -390,6 +196,15 @@ AtcReader::read(uint64_t *out, size_t n)
     size_t got = lossless_ ? lossless_->read(out, n)
                            : lossy_->read(out, n);
     delivered_ += got;
+    // A clean end of the compressed streams before the INFO-recorded
+    // value count means chunk data is missing (partially written or
+    // truncated container) — fail loudly rather than return a silently
+    // shortened trace.
+    if (got == 0 && n > 0)
+        ATC_CHECK(delivered_ == count_,
+                  "container truncated: INFO records " +
+                      std::to_string(count_) + " values but only " +
+                      std::to_string(delivered_) + " could be decoded");
     return got;
 }
 

@@ -34,6 +34,7 @@
 #include <string>
 
 #include "atc/container.hpp"
+#include "atc/info.hpp"
 #include "atc/lossless.hpp"
 #include "atc/lossy.hpp"
 #include "compress/codec.hpp"
@@ -42,12 +43,8 @@
 
 namespace atc::core {
 
-/** Compression mode ('c' vs 'k' in the original tool). */
-enum class Mode : uint8_t
-{
-    Lossless = 0,
-    Lossy = 1,
-};
+// Mode (the 'c' vs 'k' distinction) lives in atc/info.hpp with the rest
+// of the container wire format.
 
 /** Options accepted by AtcWriter. */
 struct AtcOptions

@@ -39,7 +39,17 @@ DirectoryStore::createChunk(uint32_t id)
 std::unique_ptr<util::ByteSource>
 DirectoryStore::openChunk(uint32_t id)
 {
-    return std::make_unique<util::FileSource>(chunkPath(id));
+    // A missing or empty chunk file is a partially written or truncated
+    // container; fail here with a path-specific message instead of
+    // letting the decoder report a generic truncation deeper down.
+    std::string path = chunkPath(id);
+    std::error_code ec;
+    auto size = fs::file_size(path, ec);
+    ATC_CHECK(!ec, "missing chunk file " + path +
+                       " (truncated or partially written container?)");
+    ATC_CHECK(size > 0, "chunk file " + path +
+                            " is empty (truncated container?)");
+    return std::make_unique<util::FileSource>(path);
 }
 
 std::unique_ptr<util::ByteSink>
@@ -78,6 +88,8 @@ MemoryStore::openChunk(uint32_t id)
     auto it = chunks_.find(id);
     ATC_CHECK(it != chunks_.end(),
               "unknown chunk " + std::to_string(id));
+    ATC_CHECK(!it->second.empty(), "chunk " + std::to_string(id) +
+                                       " is empty (truncated container?)");
     return std::make_unique<util::MemorySource>(it->second);
 }
 

@@ -7,6 +7,12 @@
  * per-chunk compressor of the lossy mode. The codec is addressed by a
  * registry spec (e.g. "bwc", "lzh", "bwc:block=900k") and constructed
  * through comp::CodecRegistry, so back ends stay pluggable.
+ *
+ * Every stream ends with a little-endian CRC-32 trailer of the raw
+ * (transformed, pre-codec) byte stream, written after the codec
+ * terminator. The reader verifies it once the stream is drained, so
+ * corruption is loud even under codecs without per-block checksums
+ * ("store") and under truncation at frame boundaries.
  */
 
 #ifndef ATC_ATC_LOSSLESS_HPP_
@@ -50,13 +56,14 @@ class LosslessWriter
     /** Compress one address. */
     void code(uint64_t addr) { write(&addr, 1); }
 
-    /** Flush everything; call exactly once. */
+    /** Flush everything and write the CRC trailer; call exactly once. */
     void finish();
 
     /** @return addresses coded. */
     uint64_t count() const { return transform_->count(); }
 
   private:
+    util::ByteSink &out_;
     std::shared_ptr<const comp::Codec> codec_;
     std::unique_ptr<comp::StreamCompressor> codec_stage_;
     std::unique_ptr<TransformEncoder> transform_;
@@ -76,7 +83,9 @@ class LosslessReader
 
     /**
      * Decompress up to @p n addresses — the primary entry point.
+     * At end of stream the stored CRC trailer is verified once.
      * @return addresses produced; 0 means end of stream
+     * @throws util::Error on corrupt data or a CRC mismatch
      */
     size_t read(uint64_t *out, size_t n);
 
@@ -87,9 +96,13 @@ class LosslessReader
     bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
   private:
+    void verifyTrailer();
+
+    util::ByteSource &in_;
     std::shared_ptr<const comp::Codec> codec_;
     std::unique_ptr<comp::StreamDecompressor> codec_stage_;
     std::unique_ptr<TransformDecoder> transform_;
+    bool verified_ = false;
 };
 
 } // namespace atc::core

@@ -7,8 +7,9 @@
 
 namespace atc::core {
 
-LossyEncoder::LossyEncoder(const LossyParams &params, ChunkStore &store)
-    : params_(params), store_(store)
+LossyEncoder::LossyEncoder(const LossyParams &params, ChunkStore &store,
+                           ChunkFn chunk_fn)
+    : params_(params), store_(store), chunk_fn_(std::move(chunk_fn))
 {
     ATC_CHECK(params_.interval_len > 0, "interval length must be positive");
     ATC_CHECK(params_.chunk_table > 0, "chunk table must be nonempty");
@@ -36,19 +37,29 @@ void
 LossyEncoder::emitChunk(const IntervalSignature &sig)
 {
     uint32_t id = static_cast<uint32_t>(stats_.chunks_created++);
-    auto sink = store_.createChunk(id);
-    LosslessWriter writer(params_.chunk_params, *sink);
-    writer.write(buffer_.data(), buffer_.size());
-    writer.finish();
-    sink->flush();
+    uint64_t length = buffer_.size();
+    bool full = buffer_.size() == params_.interval_len;
 
-    records_.push_back({IntervalRecord::Kind::Chunk, id, buffer_.size(),
-                        ByteTranslation{}});
+    if (chunk_fn_) {
+        std::vector<uint64_t> payload = std::move(buffer_);
+        buffer_ = std::vector<uint64_t>();
+        buffer_.reserve(params_.interval_len);
+        chunk_fn_(id, std::move(payload));
+    } else {
+        auto sink = store_.createChunk(id);
+        LosslessWriter writer(params_.chunk_params, *sink);
+        writer.write(buffer_.data(), buffer_.size());
+        writer.finish();
+        sink->flush();
+    }
+
+    records_.push_back(
+        {IntervalRecord::Kind::Chunk, id, length, ByteTranslation{}});
 
     // Register the chunk's signature; evict the oldest when full. A
     // partial final chunk is not a candidate for imitation, so it is
     // not registered.
-    if (buffer_.size() == params_.interval_len) {
+    if (full) {
         if (table_.size() == params_.chunk_table)
             table_.pop_front();
         table_.push_back({id, sig});

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -79,10 +80,22 @@ class LossyEncoder
 {
   public:
     /**
+     * Receives each interval that becomes a chunk, instead of the
+     * built-in compress-into-the-store path. The payload is moved out
+     * of the encoder; ids are dense and increasing. This is the seam
+     * the parallel driver uses to offload chunk compression.
+     */
+    using ChunkFn =
+        std::function<void(uint32_t id, std::vector<uint64_t> payload)>;
+
+    /**
      * @param params scheme parameters
      * @param store  chunk destination (must outlive the encoder)
+     * @param chunk_fn optional override for chunk emission; when set,
+     *        the encoder never touches @p store itself
      */
-    LossyEncoder(const LossyParams &params, ChunkStore &store);
+    LossyEncoder(const LossyParams &params, ChunkStore &store,
+                 ChunkFn chunk_fn = nullptr);
 
     /** Feed a batch of addresses — the primary entry point. */
     void write(const uint64_t *addrs, size_t n);
@@ -111,6 +124,7 @@ class LossyEncoder
 
     LossyParams params_;
     ChunkStore &store_;
+    ChunkFn chunk_fn_;
     std::vector<uint64_t> buffer_;
     std::deque<TableEntry> table_;
     std::vector<IntervalRecord> records_;

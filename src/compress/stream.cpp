@@ -25,6 +25,7 @@ StreamCompressor::write(const uint8_t *data, size_t n)
 {
     ATC_ASSERT(!finished_);
     raw_bytes_ += n;
+    crc_.update(data, n);
     while (n > 0) {
         size_t room = block_size_ - buffer_.size();
         size_t take = n < room ? n : room;
@@ -89,6 +90,7 @@ StreamDecompressor::refill()
     size_t raw_size = static_cast<size_t>(header - 1);
     codec_.decompressBlock(src_, raw_size, block_);
     ATC_CHECK(block_.size() == raw_size, "frame size mismatch");
+    crc_.update(block_.data(), block_.size());
     pos_ = 0;
     return true;
 }

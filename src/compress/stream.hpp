@@ -17,6 +17,7 @@
 
 #include "compress/codec.hpp"
 #include "util/bytestream.hpp"
+#include "util/crc32.hpp"
 
 namespace atc::comp {
 
@@ -45,6 +46,9 @@ class StreamCompressor : public util::ByteSink
     /** @return raw bytes consumed so far. */
     uint64_t rawBytes() const { return raw_bytes_; }
 
+    /** @return CRC-32 of the raw bytes consumed so far. */
+    uint32_t crc() const { return crc_.value(); }
+
   private:
     void emitBlock();
 
@@ -53,6 +57,7 @@ class StreamCompressor : public util::ByteSink
     size_t block_size_;
     std::vector<uint8_t> buffer_;
     uint64_t raw_bytes_ = 0;
+    util::Crc32 crc_;
     bool finished_ = false;
 };
 
@@ -69,6 +74,9 @@ class StreamDecompressor : public util::ByteSource
     /** Serve decompressed bytes; 0 at end of stream. */
     size_t read(uint8_t *data, size_t n) override;
 
+    /** @return CRC-32 of every decompressed block produced so far. */
+    uint32_t crc() const { return crc_.value(); }
+
   private:
     bool refill();
 
@@ -76,6 +84,7 @@ class StreamDecompressor : public util::ByteSource
     util::ByteSource &src_;
     std::vector<uint8_t> block_;
     size_t pos_ = 0;
+    util::Crc32 crc_;
     bool done_ = false;
 };
 

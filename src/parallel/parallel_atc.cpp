@@ -1,0 +1,494 @@
+#include "parallel/parallel_atc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "atc/info.hpp"
+
+namespace atc::parallel {
+
+namespace {
+
+/** Addresses per batch pushed by the lossless prefetch worker. */
+constexpr size_t kReadBatch = 64 * 1024;
+
+size_t
+resolveLookahead(const ParallelOptions &popt)
+{
+    if (popt.lookahead != 0)
+        return popt.lookahead;
+    return 2 * resolveThreads(popt.threads);
+}
+
+} // namespace
+
+/** ByteSink adapter routing transform output into the block slicer. */
+class LosslessBlockSink : public util::ByteSink
+{
+  public:
+    explicit LosslessBlockSink(ParallelAtcWriter &writer)
+        : writer_(writer)
+    {}
+
+    void
+    write(const uint8_t *data, size_t n) override
+    {
+        writer_.onTransformedBytes(data, n);
+    }
+
+  private:
+    ParallelAtcWriter &writer_;
+};
+
+ParallelAtcWriter::ParallelAtcWriter(core::ChunkStore &store,
+                                     const core::AtcOptions &options,
+                                     const ParallelOptions &popt)
+    : store_(&store), options_(options),
+      codec_(comp::makeCodec(options.pipeline.codec)),
+      lookahead_(resolveLookahead(popt)),
+      pool_(popt.threads, std::max<size_t>(lookahead_, 1))
+{
+    init();
+}
+
+ParallelAtcWriter::ParallelAtcWriter(const std::string &dir,
+                                     const core::AtcOptions &options,
+                                     const ParallelOptions &popt)
+    : owned_store_(std::make_unique<core::DirectoryStore>(
+          dir, core::containerSuffix(options.pipeline.codec))),
+      store_(owned_store_.get()), options_(options),
+      codec_(comp::makeCodec(options.pipeline.codec)),
+      lookahead_(resolveLookahead(popt)),
+      pool_(popt.threads, std::max<size_t>(lookahead_, 1))
+{
+    init();
+}
+
+void
+ParallelAtcWriter::init()
+{
+    ATC_CHECK(codec_.spec.size() < 256,
+              "codec spec too long for INFO preamble");
+    options_.lossy.chunk_params = options_.pipeline;
+    if (options_.mode == core::Mode::Lossless) {
+        chunk_sink_ = store_->createChunk(0);
+        block_size_ = codec_.blockOr(options_.pipeline.codec_block);
+        block_buf_.reserve(block_size_);
+        block_sink_ = std::make_unique<LosslessBlockSink>(*this);
+        transform_ = std::make_unique<core::TransformEncoder>(
+            options_.pipeline.transform, options_.pipeline.buffer_addrs,
+            *block_sink_);
+    } else {
+        lossy_ = std::make_unique<core::LossyEncoder>(
+            options_.lossy, *store_,
+            [this](uint32_t id, std::vector<uint64_t> payload) {
+                dispatchChunk(id, std::move(payload));
+            });
+    }
+}
+
+util::StatusOr<std::unique_ptr<ParallelAtcWriter>>
+ParallelAtcWriter::open(core::ChunkStore &store,
+                        const core::AtcOptions &options,
+                        const ParallelOptions &popt)
+{
+    try {
+        return std::make_unique<ParallelAtcWriter>(store, options, popt);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::unique_ptr<ParallelAtcWriter>>
+ParallelAtcWriter::open(const std::string &dir,
+                        const core::AtcOptions &options,
+                        const ParallelOptions &popt)
+{
+    try {
+        return std::make_unique<ParallelAtcWriter>(dir, options, popt);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+ParallelAtcWriter::~ParallelAtcWriter()
+{
+    // Abandoned without close(): drop the pending futures and let the
+    // pool run out its queue. Workers never wait on the caller, so the
+    // join in ~ThreadPool cannot deadlock.
+}
+
+void
+ParallelAtcWriter::write(const uint64_t *vals, size_t n)
+{
+    ATC_ASSERT(!closed_);
+    if (transform_)
+        transform_->write(vals, n);
+    else
+        lossy_->write(vals, n);
+    count_ += n;
+}
+
+void
+ParallelAtcWriter::onTransformedBytes(const uint8_t *data, size_t n)
+{
+    raw_crc_.update(data, n);
+    while (n > 0) {
+        size_t room = block_size_ - block_buf_.size();
+        size_t take = n < room ? n : room;
+        block_buf_.insert(block_buf_.end(), data, data + take);
+        data += take;
+        n -= take;
+        if (block_buf_.size() == block_size_)
+            dispatchBlock();
+    }
+}
+
+void
+ParallelAtcWriter::dispatchBlock()
+{
+    std::vector<uint8_t> raw = std::move(block_buf_);
+    block_buf_ = std::vector<uint8_t>();
+    block_buf_.reserve(block_size_);
+
+    // The shared_ptr keeps the codec alive for the task even if the
+    // writer is torn down before the pool drains.
+    std::shared_ptr<const comp::Codec> codec = codec_.codec;
+    pending_blocks_.push_back(
+        pool_.async([codec, raw = std::move(raw)]() {
+            std::vector<uint8_t> frame;
+            util::VectorSink sink(frame);
+            util::writeVarint(sink, raw.size() + 1);
+            codec->compressBlock(raw.data(), raw.size(), sink);
+            return frame;
+        }));
+    drainBlocks(lookahead_);
+}
+
+void
+ParallelAtcWriter::drainBlocks(size_t keep)
+{
+    while (pending_blocks_.size() > keep) {
+        std::vector<uint8_t> frame = pending_blocks_.front().get();
+        pending_blocks_.pop_front();
+        chunk_sink_->write(frame.data(), frame.size());
+    }
+}
+
+void
+ParallelAtcWriter::dispatchChunk(uint32_t id,
+                                 std::vector<uint64_t> payload)
+{
+    pending_chunks_.emplace_back(
+        id, pool_.async([params = options_.lossy.chunk_params,
+                         payload = std::move(payload)]() {
+            std::vector<uint8_t> bytes;
+            util::VectorSink sink(bytes);
+            core::LosslessWriter writer(params, sink);
+            writer.write(payload.data(), payload.size());
+            writer.finish();
+            return bytes;
+        }));
+    drainChunks(lookahead_);
+}
+
+void
+ParallelAtcWriter::drainChunks(size_t keep)
+{
+    // Chunk ids are dense and dispatched in increasing order, so
+    // resolving the deque front-first reassembles the container in
+    // exactly the serial path's order.
+    while (pending_chunks_.size() > keep) {
+        auto &[id, future] = pending_chunks_.front();
+        std::vector<uint8_t> bytes = future.get();
+        auto sink = store_->createChunk(id);
+        sink->write(bytes.data(), bytes.size());
+        sink->flush();
+        pending_chunks_.pop_front();
+    }
+}
+
+void
+ParallelAtcWriter::close()
+{
+    if (closed_)
+        return;
+    if (transform_) {
+        transform_->finish();
+        if (!block_buf_.empty())
+            dispatchBlock();
+        drainBlocks(0);
+        // Stream terminator + CRC trailer, exactly as the serial
+        // LosslessWriter emits them.
+        util::writeVarint(*chunk_sink_, 0);
+        util::writeLE<uint32_t>(*chunk_sink_, raw_crc_.value());
+        chunk_sink_->flush();
+        core::writeContainerInfo(*store_, codec_, options_.mode,
+                                 options_.pipeline, count_, nullptr, 0,
+                                 nullptr);
+    } else {
+        lossy_->finish();
+        drainChunks(0);
+        core::writeContainerInfo(*store_, codec_, options_.mode,
+                                 options_.pipeline, count_,
+                                 &options_.lossy,
+                                 lossy_->stats().chunks_created,
+                                 &lossy_->records());
+    }
+    closed_ = true;
+}
+
+util::Status
+ParallelAtcWriter::tryClose()
+{
+    try {
+        close();
+        return util::Status();
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+const core::LossyStats &
+ParallelAtcWriter::lossyStats() const
+{
+    ATC_CHECK(lossy_ != nullptr, "lossyStats requires lossy mode");
+    return lossy_->stats();
+}
+
+ParallelAtcReader::ParallelAtcReader(core::ChunkStore &store,
+                                     const ParallelOptions &popt)
+    : store_(&store), info_(core::readContainerInfo(store)),
+      lookahead_(resolveLookahead(popt)),
+      pool_(std::make_unique<ThreadPool>(
+          popt.threads, std::max<size_t>(lookahead_, 1)))
+{
+    start();
+}
+
+ParallelAtcReader::ParallelAtcReader(const std::string &dir,
+                                     const ParallelOptions &popt)
+    : owned_store_(std::make_unique<core::DirectoryStore>(
+          dir, core::detectContainerSuffix(dir))),
+      store_(owned_store_.get()),
+      info_(core::readContainerInfo(*owned_store_)),
+      lookahead_(resolveLookahead(popt)),
+      pool_(std::make_unique<ThreadPool>(
+          popt.threads, std::max<size_t>(lookahead_, 1)))
+{
+    start();
+}
+
+util::StatusOr<std::unique_ptr<ParallelAtcReader>>
+ParallelAtcReader::open(core::ChunkStore &store,
+                        const ParallelOptions &popt)
+{
+    try {
+        return std::make_unique<ParallelAtcReader>(store, popt);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::unique_ptr<ParallelAtcReader>>
+ParallelAtcReader::open(const std::string &dir,
+                        const ParallelOptions &popt)
+{
+    try {
+        return std::make_unique<ParallelAtcReader>(dir, popt);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+ParallelAtcReader::~ParallelAtcReader()
+{
+    // Unblock a prefetch worker stuck in push() before joining: either
+    // side closing the channel is enough to end the stream.
+    if (batches_)
+        batches_->close();
+    pool_.reset();
+}
+
+void
+ParallelAtcReader::start()
+{
+    if (info_.mode == core::Mode::Lossless) {
+        batches_ = std::make_unique<Channel<std::vector<uint64_t>>>(
+            std::max<size_t>(lookahead_, 1));
+        producer_ = pool_->async([this] {
+            try {
+                auto src = store_->openChunk(0);
+                core::LosslessReader reader(info_.pipeline, *src);
+                std::vector<uint64_t> buf(kReadBatch);
+                for (;;) {
+                    size_t got = reader.read(buf.data(), buf.size());
+                    if (got == 0)
+                        break;
+                    std::vector<uint64_t> batch(buf.begin(),
+                                                buf.begin() + got);
+                    if (!batches_->push(std::move(batch)))
+                        return; // consumer abandoned the stream
+                }
+            } catch (...) {
+                // Wake the consumer before surfacing the error via the
+                // producer future.
+                batches_->close();
+                throw;
+            }
+            batches_->close();
+        });
+        return;
+    }
+    cache_cap_ = std::max<size_t>(8, lookahead_ + 1);
+    scheduleAhead();
+}
+
+void
+ParallelAtcReader::scheduleAhead()
+{
+    size_t end = std::min(record_idx_ + lookahead_ + 1,
+                          info_.records.size());
+    for (size_t i = record_idx_; i < end; ++i) {
+        uint32_t id = info_.records[i].chunk_id;
+        auto it = decodes_.find(id);
+        if (it == decodes_.end()) {
+            decodes_.emplace(
+                id, pool_->async([this, id]() -> ChunkPtr {
+                            auto src = store_->openChunk(id);
+                            core::LosslessReader reader(info_.pipeline,
+                                                        *src);
+                            auto chunk = std::make_shared<
+                                std::vector<uint64_t>>();
+                            uint64_t buf[4096];
+                            size_t got;
+                            while ((got = reader.read(buf, 4096)) != 0)
+                                chunk->insert(chunk->end(), buf,
+                                              buf + got);
+                            return chunk;
+                        }).share());
+        }
+        // Keep everything in the window at the recent end of the LRU so
+        // eviction only ever hits chunks outside it.
+        lru_.remove(id);
+        lru_.push_front(id);
+    }
+    while (decodes_.size() > cache_cap_ && !lru_.empty()) {
+        uint32_t victim = lru_.back();
+        lru_.pop_back();
+        decodes_.erase(victim);
+    }
+}
+
+ParallelAtcReader::ChunkPtr
+ParallelAtcReader::loadChunk(uint32_t id)
+{
+    auto it = decodes_.find(id);
+    ATC_ASSERT(it != decodes_.end()); // scheduleAhead covers the window
+    return it->second.get();          // rethrows worker-side errors
+}
+
+bool
+ParallelAtcReader::nextInterval()
+{
+    if (record_idx_ >= info_.records.size())
+        return false;
+    scheduleAhead();
+    const core::IntervalRecord &rec = info_.records[record_idx_++];
+    ChunkPtr chunk = loadChunk(rec.chunk_id);
+    ATC_CHECK(chunk->size() == rec.length,
+              "interval record length mismatch");
+
+    interval_.resize(rec.length);
+    if (rec.kind == core::IntervalRecord::Kind::Chunk ||
+        rec.trans.plane_mask == 0) {
+        std::copy(chunk->begin(), chunk->end(), interval_.begin());
+    } else {
+        for (size_t i = 0; i < chunk->size(); ++i)
+            interval_[i] = rec.trans.apply((*chunk)[i]);
+    }
+    pos_ = 0;
+    return true;
+}
+
+size_t
+ParallelAtcReader::readLossless(uint64_t *out, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        if (batch_pos_ == batch_.size()) {
+            if (drained_)
+                break;
+            if (!batches_->pop(batch_)) {
+                drained_ = true;
+                batch_.clear();
+                batch_pos_ = 0;
+                if (producer_.valid())
+                    producer_.get(); // surface decode errors
+                break;
+            }
+            batch_pos_ = 0;
+            continue;
+        }
+        size_t avail = batch_.size() - batch_pos_;
+        size_t take = (n - got) < avail ? (n - got) : avail;
+        std::copy(batch_.begin() +
+                      static_cast<std::ptrdiff_t>(batch_pos_),
+                  batch_.begin() +
+                      static_cast<std::ptrdiff_t>(batch_pos_ + take),
+                  out + got);
+        got += take;
+        batch_pos_ += take;
+    }
+    return got;
+}
+
+size_t
+ParallelAtcReader::readLossy(uint64_t *out, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        if (pos_ == interval_.size()) {
+            if (!nextInterval())
+                break;
+            continue; // an empty interval record is possible
+        }
+        size_t avail = interval_.size() - pos_;
+        size_t take = (n - got) < avail ? (n - got) : avail;
+        std::copy(interval_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  interval_.begin() +
+                      static_cast<std::ptrdiff_t>(pos_ + take),
+                  out + got);
+        got += take;
+        pos_ += take;
+    }
+    return got;
+}
+
+size_t
+ParallelAtcReader::read(uint64_t *out, size_t n)
+{
+    size_t got = info_.mode == core::Mode::Lossless
+                     ? readLossless(out, n)
+                     : readLossy(out, n);
+    delivered_ += got;
+    if (got == 0 && n > 0)
+        ATC_CHECK(delivered_ == info_.count,
+                  "container truncated: INFO records " +
+                      std::to_string(info_.count) +
+                      " values but only " + std::to_string(delivered_) +
+                      " could be decoded");
+    return got;
+}
+
+util::StatusOr<size_t>
+ParallelAtcReader::tryRead(uint64_t *out, size_t n)
+{
+    try {
+        return read(out, n);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+} // namespace atc::parallel

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Parallel chunked compression engine.
+ *
+ * ParallelAtcWriter / ParallelAtcReader are drop-in TraceSink /
+ * TraceSource stages producing and consuming the exact container
+ * format of the serial AtcWriter/AtcReader — for any thread count the
+ * emitted bytes (INFO preamble and every chunk file) are identical to
+ * the serial path, so containers stay interchangeable.
+ *
+ * Writer: the caller thread runs the cheap, order-dependent work (the
+ * bytesort transform in lossless mode; interval signatures and the
+ * imitation decision in lossy mode) and dispatches the dominant cost —
+ * per-block codec compression (BWT/suffix array) or whole-chunk
+ * compression — to a fixed thread pool. Results come back as futures
+ * kept in submission order and are reassembled in order into the
+ * container, with a bounded in-flight window for backpressure.
+ *
+ * Reader: in lossy mode upcoming chunks are decoded ahead concurrently
+ * (distinct chunks only; imitated intervals reuse the decoded chunk);
+ * in lossless mode a background worker decodes batches ahead through a
+ * bounded channel. Abandoning either side mid-stream never deadlocks:
+ * destruction closes the channels, which unblocks every worker.
+ */
+
+#ifndef ATC_PARALLEL_PARALLEL_ATC_HPP_
+#define ATC_PARALLEL_PARALLEL_ATC_HPP_
+
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atc/atc.hpp"
+#include "parallel/channel.hpp"
+#include "parallel/thread_pool.hpp"
+#include "trace/pipeline.hpp"
+#include "util/status.hpp"
+
+namespace atc::parallel {
+
+/** Knobs of the parallel drivers. */
+struct ParallelOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    size_t threads = 0;
+    /** In-flight blocks/chunks ahead of the reassembly point;
+     *  0 = 2 * threads. Bounds memory and provides backpressure. */
+    size_t lookahead = 0;
+};
+
+/** Compressing side; byte-identical to AtcWriter for any thread count. */
+class ParallelAtcWriter : public trace::TraceSink
+{
+  public:
+    /**
+     * Write into an existing store. The store is only touched from the
+     * caller thread (ordered reassembly), so any ChunkStore works.
+     * @throws util::Error on a malformed or unknown codec spec
+     */
+    ParallelAtcWriter(core::ChunkStore &store,
+                      const core::AtcOptions &options,
+                      const ParallelOptions &popt = {});
+
+    /** Write into a directory container (created if needed). */
+    ParallelAtcWriter(const std::string &dir,
+                      const core::AtcOptions &options,
+                      const ParallelOptions &popt = {});
+
+    /** Non-throwing constructor wrapper. */
+    static util::StatusOr<std::unique_ptr<ParallelAtcWriter>> open(
+        core::ChunkStore &store, const core::AtcOptions &options,
+        const ParallelOptions &popt = {});
+
+    /** Non-throwing constructor wrapper (directory layout). */
+    static util::StatusOr<std::unique_ptr<ParallelAtcWriter>> open(
+        const std::string &dir, const core::AtcOptions &options,
+        const ParallelOptions &popt = {});
+
+    /** Abandons cleanly (no deadlock) when close() was never called. */
+    ~ParallelAtcWriter() override;
+
+    ParallelAtcWriter(const ParallelAtcWriter &) = delete;
+    ParallelAtcWriter &operator=(const ParallelAtcWriter &) = delete;
+
+    /** Compress a batch of values — the primary entry point. */
+    void write(const uint64_t *vals, size_t n) override;
+
+    /** Compress one 64-bit value. */
+    void code(uint64_t value) { write(&value, 1); }
+
+    /** Drain the pool, reassemble, and write INFO. */
+    void close() override;
+
+    /** close(), reporting failures as a Status instead of throwing. */
+    util::Status tryClose();
+
+    /** @return values coded so far. */
+    uint64_t count() const { return count_; }
+
+    /** @return worker threads in the pool. */
+    size_t threads() const { return pool_.size(); }
+
+    /** @return lossy counters; valid after close() in lossy mode. */
+    const core::LossyStats &lossyStats() const;
+
+  private:
+    friend class LosslessBlockSink;
+
+    void init();
+    void onTransformedBytes(const uint8_t *data, size_t n);
+    void dispatchBlock();
+    void dispatchChunk(uint32_t id, std::vector<uint64_t> payload);
+    void drainBlocks(size_t keep);
+    void drainChunks(size_t keep);
+
+    std::unique_ptr<core::ChunkStore> owned_store_;
+    core::ChunkStore *store_;
+    core::AtcOptions options_;
+    comp::ConfiguredCodec codec_;
+    size_t lookahead_;
+    ThreadPool pool_;
+    uint64_t count_ = 0;
+    bool closed_ = false;
+
+    // Lossless mode: transform on the caller thread, codec blocks in
+    // the pool, frames reassembled in submission order.
+    std::unique_ptr<util::ByteSink> chunk_sink_;
+    std::unique_ptr<util::ByteSink> block_sink_; // feeds onTransformedBytes
+    std::unique_ptr<core::TransformEncoder> transform_;
+    size_t block_size_ = 0;
+    std::vector<uint8_t> block_buf_;
+    util::Crc32 raw_crc_;
+    std::deque<std::future<std::vector<uint8_t>>> pending_blocks_;
+
+    // Lossy mode: decisions on the caller thread, chunk compression in
+    // the pool, chunk files written in id order.
+    std::unique_ptr<core::LossyEncoder> lossy_;
+    std::deque<std::pair<uint32_t, std::future<std::vector<uint8_t>>>>
+        pending_chunks_;
+};
+
+/** Decompressing side with concurrent chunk prefetch. */
+class ParallelAtcReader : public trace::TraceSource
+{
+  public:
+    /**
+     * Read from an existing store. The store must stay immutable while
+     * the reader lives; chunks are opened from worker threads.
+     * @throws util::Error on missing/corrupt INFO
+     */
+    explicit ParallelAtcReader(core::ChunkStore &store,
+                               const ParallelOptions &popt = {});
+
+    /** Read from a directory container (suffix auto-detected). */
+    explicit ParallelAtcReader(const std::string &dir,
+                               const ParallelOptions &popt = {});
+
+    /** Non-throwing constructor wrapper. */
+    static util::StatusOr<std::unique_ptr<ParallelAtcReader>> open(
+        core::ChunkStore &store, const ParallelOptions &popt = {});
+
+    /** Non-throwing constructor wrapper (directory, auto-detect). */
+    static util::StatusOr<std::unique_ptr<ParallelAtcReader>> open(
+        const std::string &dir, const ParallelOptions &popt = {});
+
+    /** Abandons cleanly (no deadlock) mid-stream. */
+    ~ParallelAtcReader() override;
+
+    ParallelAtcReader(const ParallelAtcReader &) = delete;
+    ParallelAtcReader &operator=(const ParallelAtcReader &) = delete;
+
+    /**
+     * Decompress up to @p n values — the primary entry point.
+     * @return values produced; 0 means end of trace
+     * @throws util::Error on truncated/corrupt chunk data
+     */
+    size_t read(uint64_t *out, size_t n) override;
+
+    /** read(), reporting corruption as a Status instead of throwing. */
+    util::StatusOr<size_t> tryRead(uint64_t *out, size_t n);
+
+    /** @return the container's compression mode. */
+    core::Mode mode() const { return info_.mode; }
+
+    /** @return the codec spec recorded in INFO. */
+    const std::string &codecSpec() const { return info_.codec_spec; }
+
+    /** @return total values in the trace, from INFO. */
+    uint64_t count() const { return info_.count; }
+
+  private:
+    using ChunkPtr = std::shared_ptr<const std::vector<uint64_t>>;
+
+    void start();
+    void scheduleAhead();
+    ChunkPtr loadChunk(uint32_t id);
+    bool nextInterval();
+    size_t readLossless(uint64_t *out, size_t n);
+    size_t readLossy(uint64_t *out, size_t n);
+
+    std::unique_ptr<core::ChunkStore> owned_store_;
+    core::ChunkStore *store_;
+    core::ContainerInfo info_;
+    size_t lookahead_;
+    uint64_t delivered_ = 0;
+
+    // Lossless mode: one background decoder feeding a bounded channel.
+    std::unique_ptr<Channel<std::vector<uint64_t>>> batches_;
+    std::future<void> producer_;
+    std::vector<uint64_t> batch_;
+    size_t batch_pos_ = 0;
+    bool drained_ = false;
+
+    // Lossy mode: concurrent decode of upcoming distinct chunks.
+    std::unordered_map<uint32_t, std::shared_future<ChunkPtr>> decodes_;
+    std::list<uint32_t> lru_; // front = most recent
+    size_t cache_cap_ = 0;
+    size_t record_idx_ = 0;
+    std::vector<uint64_t> interval_;
+    size_t pos_ = 0;
+
+    // Joined (after channel close) before the members above die.
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace atc::parallel
+
+#endif // ATC_PARALLEL_PARALLEL_ATC_HPP_

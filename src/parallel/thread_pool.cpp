@@ -1,0 +1,51 @@
+#include "parallel/thread_pool.hpp"
+
+namespace atc::parallel {
+
+size_t
+resolveThreads(size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    size_t hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t threads, size_t queue_capacity)
+    : tasks_(queue_capacity != 0 ? queue_capacity
+                                 : 2 * resolveThreads(threads))
+{
+    size_t n = resolveThreads(threads);
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] {
+            std::function<void()> task;
+            while (tasks_.pop(task))
+                task();
+        });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+bool
+ThreadPool::submit(std::function<void()> task)
+{
+    return tasks_.push(std::move(task));
+}
+
+void
+ThreadPool::shutdown()
+{
+    tasks_.close();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers_.clear();
+}
+
+} // namespace atc::parallel

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size thread pool over a bounded MPMC task channel.
+ *
+ * submit() enqueues a task, blocking when the queue is full — bounded
+ * submission is the backpressure mechanism that keeps a fast producer
+ * (e.g. a trace generator) from buffering unbounded work. async() wraps
+ * submit() with a std::future for the task's result; callers that need
+ * ordered reassembly keep their futures in a deque and resolve them in
+ * submission order.
+ *
+ * Destruction closes the task channel, runs the tasks already queued,
+ * and joins the workers; abandoned futures never deadlock because
+ * workers block only on the channel, never on callers.
+ */
+
+#ifndef ATC_PARALLEL_THREAD_POOL_HPP_
+#define ATC_PARALLEL_THREAD_POOL_HPP_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/channel.hpp"
+
+namespace atc::parallel {
+
+/** @return a sensible worker count: @p requested, or the hardware
+ *  concurrency when @p requested is 0 (at least 1). */
+size_t resolveThreads(size_t requested);
+
+/** Fixed-size worker pool consuming a bounded task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads        worker count; 0 = hardware concurrency
+     * @param queue_capacity bounded task-queue depth; 0 = 2 * threads
+     */
+    explicit ThreadPool(size_t threads = 0, size_t queue_capacity = 0);
+
+    /** Close the queue, finish queued tasks, join the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return worker count. */
+    size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p task; blocks while the queue is full.
+     * @return false if the pool is shutting down (task dropped)
+     */
+    bool submit(std::function<void()> task);
+
+    /**
+     * Enqueue @p fn and expose its result (or exception) as a future.
+     * @throws util::Error when the pool is shutting down
+     */
+    template <typename F>
+    auto
+    async(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        // packaged_task is move-only; std::function requires copyable
+        // targets, so the task rides in a shared_ptr.
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> future = task->get_future();
+        if (!submit([task] { (*task)(); }))
+            util::raise("thread pool is shut down");
+        return future;
+    }
+
+    /** Close the queue, finish queued tasks, and join (idempotent). */
+    void shutdown();
+
+  private:
+    Channel<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace atc::parallel
+
+#endif // ATC_PARALLEL_THREAD_POOL_HPP_

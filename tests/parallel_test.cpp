@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Parallel subsystem tests: channel/pool primitives, parallel-vs-serial
+ * byte identity of containers, round trips across thread counts,
+ * mid-stream cancellation without deadlock, and the integrity
+ * satellites (CRC trailer verification, empty/truncated chunk files).
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "atc/atc.hpp"
+#include "parallel/channel.hpp"
+#include "parallel/parallel_atc.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace atc {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, FifoOrderAndDrainAfterClose)
+{
+    parallel::Channel<int> ch(4);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.push(2));
+    EXPECT_TRUE(ch.push(3));
+    ch.close();
+    EXPECT_FALSE(ch.push(4)); // rejected after close...
+    int v = 0;
+    EXPECT_TRUE(ch.pop(v));   // ...but the queue still drains
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(ch.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(ch.pop(v));
+    EXPECT_EQ(v, 3);
+    EXPECT_FALSE(ch.pop(v));
+}
+
+TEST(Channel, BlockedProducerUnblocksOnClose)
+{
+    parallel::Channel<int> ch(1);
+    ASSERT_TRUE(ch.push(0));
+    std::atomic<bool> returned{false};
+    std::thread producer([&] {
+        ch.push(1); // blocks: channel full
+        returned = true;
+    });
+    ch.close();
+    producer.join(); // deadlock here = test timeout
+    EXPECT_TRUE(returned);
+}
+
+TEST(Channel, ManyProducersManyConsumers)
+{
+    parallel::Channel<int> ch(8);
+    constexpr int kPerProducer = 500;
+    std::atomic<long> sum{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 3; ++p) {
+        threads.emplace_back([&ch, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ch.push(p * kPerProducer + i);
+        });
+    }
+    for (int c = 0; c < 3; ++c) {
+        threads.emplace_back([&ch, &sum] {
+            int v;
+            while (ch.pop(v))
+                sum += v;
+        });
+    }
+    threads[0].join();
+    threads[1].join();
+    threads[2].join();
+    ch.close();
+    threads[3].join();
+    threads[4].join();
+    threads[5].join();
+    long n = 3L * kPerProducer;
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, AsyncResultsAndExceptions)
+{
+    parallel::ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    auto ok = pool.async([] { return 6 * 7; });
+    auto bad = pool.async([]() -> int { util::raise("worker failure"); });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_THROW(bad.get(), util::Error);
+}
+
+TEST(ThreadPool, ShutdownRunsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        parallel::ThreadPool pool(2, 64);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+// --------------------------------------------------------- test fixtures
+
+/** Addresses with enough self-similarity that lossy mode imitates. */
+std::vector<uint64_t>
+makeTrace(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<uint64_t> addrs;
+    addrs.reserve(n);
+    uint64_t base = 0x10000000;
+    for (size_t i = 0; i < n; ++i) {
+        base += rng.below(512);
+        addrs.push_back(base & 0x3FFFFFFF);
+    }
+    return addrs;
+}
+
+core::AtcOptions
+makeOptions(core::Mode mode, size_t n, const std::string &codec = "bwc")
+{
+    core::AtcOptions opt;
+    opt.mode = mode;
+    opt.pipeline.codec = codec;
+    opt.pipeline.codec_block = 16 * 1024;
+    opt.pipeline.buffer_addrs = n / 16 + 1;
+    opt.lossy.interval_len = n / 8 + 1;
+    return opt;
+}
+
+core::MemoryStore
+writeSerial(const std::vector<uint64_t> &addrs,
+            const core::AtcOptions &opt)
+{
+    core::MemoryStore store;
+    core::AtcWriter writer(store, opt);
+    writer.write(addrs.data(), addrs.size());
+    writer.close();
+    return store;
+}
+
+core::MemoryStore
+writeParallel(const std::vector<uint64_t> &addrs,
+              const core::AtcOptions &opt, size_t threads)
+{
+    core::MemoryStore store;
+    parallel::ParallelOptions popt;
+    popt.threads = threads;
+    parallel::ParallelAtcWriter writer(store, opt, popt);
+    // Feed in many odd-sized batches to exercise dispatch boundaries.
+    size_t pos = 0;
+    while (pos < addrs.size()) {
+        size_t take =
+            std::min<size_t>(4096 + pos % 513, addrs.size() - pos);
+        writer.write(addrs.data() + pos, take);
+        pos += take;
+    }
+    writer.close();
+    return store;
+}
+
+void
+expectStoresIdentical(const core::MemoryStore &a,
+                      const core::MemoryStore &b)
+{
+    ASSERT_EQ(a.chunkCount(), b.chunkCount());
+    EXPECT_EQ(a.infoBytes(), b.infoBytes());
+    for (size_t id = 0; id < a.chunkCount(); ++id)
+        EXPECT_EQ(a.chunkBytes(static_cast<uint32_t>(id)),
+                  b.chunkBytes(static_cast<uint32_t>(id)))
+            << "chunk " << id;
+}
+
+class ThreadSweep : public testing::TestWithParam<size_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         testing::Values(size_t(1), size_t(2),
+                                         size_t(8)));
+
+// ------------------------------------------- parallel-vs-serial identity
+
+TEST_P(ThreadSweep, LosslessContainerByteIdentical)
+{
+    auto addrs = makeTrace(60'000, 21);
+    auto opt = makeOptions(core::Mode::Lossless, addrs.size());
+    auto serial = writeSerial(addrs, opt);
+    auto par = writeParallel(addrs, opt, GetParam());
+    expectStoresIdentical(serial, par);
+}
+
+TEST_P(ThreadSweep, LossyContainerByteIdentical)
+{
+    auto addrs = makeTrace(80'000, 22);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    opt.lossy.epsilon = 0.0; // every interval becomes a chunk
+    auto serial = writeSerial(addrs, opt);
+    auto par = writeParallel(addrs, opt, GetParam());
+    ASSERT_GT(serial.chunkCount(), 1u); // the sweep must shard work
+    expectStoresIdentical(serial, par);
+}
+
+TEST_P(ThreadSweep, LossyImitationByteIdentical)
+{
+    auto addrs = makeTrace(80'000, 24);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    opt.lossy.epsilon = 100.0; // every later interval imitates
+    auto serial = writeSerial(addrs, opt);
+    auto par = writeParallel(addrs, opt, GetParam());
+    expectStoresIdentical(serial, par);
+}
+
+TEST(ParallelAtc, ParameterizedCodecSpecByteIdentical)
+{
+    // A registry spec with parameters must parallelize unchanged.
+    auto addrs = makeTrace(40'000, 23);
+    auto opt =
+        makeOptions(core::Mode::Lossy, addrs.size(), "bwc:block=32k");
+    auto serial = writeSerial(addrs, opt);
+    auto par = writeParallel(addrs, opt, 4);
+    expectStoresIdentical(serial, par);
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST_P(ThreadSweep, LosslessRoundTripThroughParallelReader)
+{
+    auto addrs = makeTrace(50'000, 31);
+    auto opt = makeOptions(core::Mode::Lossless, addrs.size());
+    auto store = writeParallel(addrs, opt, GetParam());
+
+    parallel::ParallelOptions popt;
+    popt.threads = GetParam();
+    parallel::ParallelAtcReader reader(store, popt);
+    EXPECT_EQ(reader.mode(), core::Mode::Lossless);
+    EXPECT_EQ(reader.count(), addrs.size());
+    std::vector<uint64_t> back = trace::collect(reader);
+    EXPECT_EQ(back, addrs);
+}
+
+TEST_P(ThreadSweep, LossyRoundTripMatchesSerialReader)
+{
+    auto addrs = makeTrace(80'000, 32);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    auto store = writeParallel(addrs, opt, GetParam());
+
+    // Lossy regeneration is not the input, but serial and parallel
+    // readers must regenerate the identical stream.
+    core::AtcReader serial(store);
+    std::vector<uint64_t> expect = trace::collect(serial);
+    EXPECT_EQ(expect.size(), addrs.size());
+
+    parallel::ParallelOptions popt;
+    popt.threads = GetParam();
+    parallel::ParallelAtcReader reader(store, popt);
+    std::vector<uint64_t> got = trace::collect(reader);
+    EXPECT_EQ(got, expect);
+}
+
+// ----------------------------------------------------------- cancelation
+
+TEST(ParallelAtc, AbandonedWriterDoesNotDeadlock)
+{
+    auto addrs = makeTrace(60'000, 41);
+    for (int round = 0; round < 3; ++round) {
+        core::MemoryStore store;
+        parallel::ParallelOptions popt;
+        popt.threads = 4;
+        popt.lookahead = 2;
+        auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+        parallel::ParallelAtcWriter writer(store, opt, popt);
+        writer.write(addrs.data(), addrs.size() / 2);
+        // No close(): destruction must drain the pool and return.
+    }
+    SUCCEED();
+}
+
+TEST(ParallelAtc, AbandonedReaderDoesNotDeadlock)
+{
+    auto addrs = makeTrace(60'000, 42);
+    auto lossless = writeSerial(
+        addrs, makeOptions(core::Mode::Lossless, addrs.size()));
+    auto lossy = writeSerial(
+        addrs, makeOptions(core::Mode::Lossy, addrs.size()));
+    for (int round = 0; round < 3; ++round) {
+        for (core::MemoryStore *store : {&lossless, &lossy}) {
+            parallel::ParallelOptions popt;
+            popt.threads = 4;
+            popt.lookahead = 1; // keep the prefetch worker blocked
+            parallel::ParallelAtcReader reader(*store, popt);
+            uint64_t buf[256];
+            ASSERT_GT(reader.read(buf, 256), 0u);
+            // Abandon mid-stream: destruction must unblock the
+            // prefetch worker and join without deadlock.
+        }
+    }
+    SUCCEED();
+}
+
+// ------------------------------------------------- integrity satellites
+
+TEST(Integrity, StoreCodecCorruptionIsLoud)
+{
+    // "store" has no per-block CRC; before the stream trailer, a flip
+    // in the payload came back as silently corrupt data.
+    auto addrs = makeTrace(20'000, 51);
+    auto opt = makeOptions(core::Mode::Lossless, addrs.size(), "store");
+    auto store = writeSerial(addrs, opt);
+
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        sink->write(store.infoBytes().data(), store.infoBytes().size());
+        auto chunk = store.chunkBytes(0);
+        chunk[chunk.size() / 2] ^= 0x01; // middle of the payload
+        auto csink = bad.createChunk(0);
+        csink->write(chunk.data(), chunk.size());
+    }
+    core::AtcReader reader(bad);
+    std::vector<uint64_t> out(addrs.size() + 1);
+    size_t got = 0;
+    util::Status failure;
+    for (;;) {
+        auto r = reader.tryRead(out.data() + got, out.size() - got);
+        if (!r.ok()) {
+            failure = r.status();
+            break;
+        }
+        if (r.value() == 0)
+            break;
+        got += r.value();
+    }
+    ASSERT_FALSE(failure.ok());
+    EXPECT_NE(failure.message().find("CRC"), std::string::npos)
+        << failure.message();
+}
+
+TEST(Integrity, MissingCrcTrailerRejected)
+{
+    auto addrs = makeTrace(10'000, 52);
+    auto opt = makeOptions(core::Mode::Lossless, addrs.size(), "store");
+    auto store = writeSerial(addrs, opt);
+
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        sink->write(store.infoBytes().data(), store.infoBytes().size());
+        auto chunk = store.chunkBytes(0);
+        chunk.resize(chunk.size() - 4); // drop the trailer
+        auto csink = bad.createChunk(0);
+        csink->write(chunk.data(), chunk.size());
+    }
+    EXPECT_THROW(
+        {
+            core::AtcReader reader(bad);
+            uint64_t v;
+            while (reader.decode(&v)) {
+            }
+        },
+        util::Error);
+}
+
+TEST(Integrity, EmptyChunkInMemoryStoreRejected)
+{
+    auto addrs = makeTrace(20'000, 53);
+    auto store = writeSerial(
+        addrs, makeOptions(core::Mode::Lossy, addrs.size()));
+    core::MemoryStore bad;
+    {
+        auto sink = bad.createInfo();
+        sink->write(store.infoBytes().data(), store.infoBytes().size());
+        for (size_t id = 0; id < store.chunkCount(); ++id) {
+            auto csink = bad.createChunk(static_cast<uint32_t>(id));
+            if (id != 0) {
+                const auto &bytes =
+                    store.chunkBytes(static_cast<uint32_t>(id));
+                csink->write(bytes.data(), bytes.size());
+            }
+            // chunk 0 stays zero-length
+        }
+    }
+    core::AtcReader reader(bad);
+    uint64_t buf[1024];
+    auto r = reader.tryRead(buf, 1024);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("empty"), std::string::npos)
+        << r.status().message();
+}
+
+TEST(Integrity, ZeroLengthChunkFileRejected)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testing::TempDir() + "/atc_zero_chunk";
+    fs::remove_all(dir);
+
+    auto addrs = makeTrace(20'000, 54);
+    auto opt = makeOptions(core::Mode::Lossless, addrs.size());
+    {
+        core::AtcWriter writer(dir, opt);
+        writer.write(addrs.data(), addrs.size());
+        writer.close();
+    }
+    // Truncate the single chunk file to zero bytes, as a partially
+    // written directory would leave it.
+    { std::ofstream trunc(dir + "/1.bwc", std::ios::trunc); }
+
+    auto reader = core::AtcReader::open(dir);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("empty"), std::string::npos)
+        << reader.status().message();
+    fs::remove_all(dir);
+}
+
+TEST(Integrity, TruncatedContainerReportsCount)
+{
+    // INFO records more values than the chunks can deliver: the reader
+    // must say so rather than end cleanly short. Build it by pairing a
+    // long trace's INFO with a short trace's chunk.
+    auto short_trace = makeTrace(10'000, 55);
+    auto long_trace = makeTrace(30'000, 55);
+    auto opt = makeOptions(core::Mode::Lossless, long_trace.size());
+    auto short_store = writeSerial(short_trace, opt);
+    auto long_store = writeSerial(long_trace, opt);
+
+    core::MemoryStore frankenstein;
+    {
+        auto sink = frankenstein.createInfo();
+        sink->write(long_store.infoBytes().data(),
+                    long_store.infoBytes().size());
+        auto csink = frankenstein.createChunk(0);
+        csink->write(short_store.chunkBytes(0).data(),
+                     short_store.chunkBytes(0).size());
+    }
+    core::AtcReader reader(frankenstein);
+    std::vector<uint64_t> buf(4096);
+    util::Status failure;
+    for (;;) {
+        auto r = reader.tryRead(buf.data(), buf.size());
+        if (!r.ok()) {
+            failure = r.status();
+            break;
+        }
+        if (r.value() == 0)
+            break;
+    }
+    ASSERT_FALSE(failure.ok());
+    EXPECT_NE(failure.message().find("truncated"), std::string::npos)
+        << failure.message();
+}
+
+// ------------------------------------------------- directory containers
+
+TEST(ParallelAtc, DirectoryContainerInterchangeable)
+{
+    namespace fs = std::filesystem;
+    std::string dir = testing::TempDir() + "/atc_parallel_dir";
+    fs::remove_all(dir);
+
+    auto addrs = makeTrace(40'000, 61);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    {
+        parallel::ParallelOptions popt;
+        popt.threads = 3;
+        parallel::ParallelAtcWriter writer(dir, opt, popt);
+        writer.write(addrs.data(), addrs.size());
+        writer.close();
+    }
+    // The serial reader consumes the parallel writer's directory...
+    core::AtcReader serial(dir);
+    std::vector<uint64_t> a = trace::collect(serial);
+    // ...and the parallel reader agrees with it, end to end.
+    parallel::ParallelAtcReader par(dir);
+    std::vector<uint64_t> b = trace::collect(par);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), addrs.size());
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace atc
