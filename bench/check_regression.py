@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI regression gate for bench/parallel_throughput JSON output.
+
+Compares a fresh bench run against the committed bench/baseline.json
+and fails (exit 1) when decode throughput regresses by more than the
+threshold. Compression modes are reported but not gated: CI runners
+vary enough that only the decode hot path — the paper's headline
+claim — is held to a hard bound.
+
+Usage:
+    check_regression.py <bench.json> <baseline.json>
+        [--threshold 0.15] [--summary <markdown-file>]
+
+The threshold can also be set via ATC_BENCH_REGRESSION_THRESHOLD.
+The --summary file receives a GitHub-flavoured markdown table (append
+mode, so pointing it at $GITHUB_STEP_SUMMARY stacks a row per job and
+the perf trajectory stays visible across PRs).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED_MODES = ("lossy_decompress", "lossless_decompress")
+
+
+def best_throughput(results, mode):
+    """Peak Maddrs/s over the thread sweep for one mode."""
+    rows = [r for r in results if r["mode"] == mode]
+    if not rows:
+        return None
+    return max(r["maddrs_per_s"] for r in rows)
+
+
+def max_thread_speedup(results, mode):
+    rows = [r for r in results if r["mode"] == mode]
+    if not rows:
+        return None
+    return max(rows, key=lambda r: r["threads"])["speedup"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("ATC_BENCH_REGRESSION_THRESHOLD",
+                                     "0.15")),
+        help="maximum tolerated decode-throughput regression "
+             "(fraction, default 0.15)")
+    parser.add_argument("--summary", help="markdown file to append to")
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        bench = json.load(f)
+    with open(args.baseline_json) as f:
+        baseline = json.load(f)
+
+    lines = []
+    lines.append("### Perf trajectory — `%s` (%s addresses, container v%s)"
+                 % (bench.get("benchmark", "?"), bench.get("addresses", "?"),
+                    bench.get("container_version", "?")))
+    lines.append("")
+    lines.append("| mode | best Maddrs/s | baseline | ratio | speedup "
+                 "@max threads | gate |")
+    lines.append("|---|---|---|---|---|---|")
+
+    failures = []
+    modes = []
+    for row in bench["results"]:
+        if row["mode"] not in modes:
+            modes.append(row["mode"])
+    for mode in modes:
+        new = best_throughput(bench["results"], mode)
+        old = best_throughput(baseline.get("results", []), mode)
+        speedup = max_thread_speedup(bench["results"], mode)
+        gated = mode in GATED_MODES
+        if old is None or old == 0:
+            ratio_txt, verdict = "n/a (new mode)", "–"
+        else:
+            ratio = new / old
+            ratio_txt = "%.2f" % ratio
+            if gated and ratio < 1.0 - args.threshold:
+                verdict = "FAIL"
+                failures.append(
+                    "%s: %.3f Maddrs/s vs baseline %.3f (ratio %.2f < "
+                    "%.2f)" % (mode, new, old, ratio,
+                               1.0 - args.threshold))
+            else:
+                verdict = "ok" if gated else "info"
+        lines.append("| %s | %.3f | %s | %s | %.2fx | %s |"
+                     % (mode, new,
+                        "%.3f" % old if old else "–",
+                        ratio_txt, speedup, verdict))
+
+    lines.append("")
+    if failures:
+        lines.append("**Decode-throughput regression beyond %d%%:**"
+                     % round(args.threshold * 100))
+        lines.extend("- " + f for f in failures)
+    else:
+        lines.append("Decode throughput within %d%% of baseline."
+                     % round(args.threshold * 100))
+    report = "\n".join(lines) + "\n"
+
+    print(report)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(report + "\n")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

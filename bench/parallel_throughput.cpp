@@ -110,7 +110,9 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     double base_lossy = 0, base_lossless = 0, base_read = 0;
+    double base_lossless_read = 0;
     core::MemoryStore reference; // first thread count's lossy container
+    core::MemoryStore lossless_ref; // ... and its lossless sibling
 
     for (size_t t : threads) {
         parallel::ParallelOptions popt;
@@ -165,8 +167,10 @@ main(int argc, char **argv)
         rows.push_back({"lossless_compress", t, s,
                         static_cast<double>(n) / s / 1e6,
                         base_lossless / s});
+        if (t == threads.front())
+            lossless_ref = std::move(lossless_store);
 
-        // Decompression sweep (prefetching reader over the reference).
+        // Lossy decompression sweep (prefetching reader).
         t0 = Clock::now();
         {
             parallel::ParallelAtcReader r(reference, popt);
@@ -181,10 +185,28 @@ main(int argc, char **argv)
                         static_cast<double>(n) / s / 1e6,
                         base_read / s});
 
+        // Lossless decompression sweep: container v3's seekable frames
+        // let the reader decode blocks in the pool, so this is where
+        // decode throughput must scale with the thread count.
+        t0 = Clock::now();
+        {
+            parallel::ParallelAtcReader r(lossless_ref, popt);
+            uint64_t buf[65536];
+            while (r.read(buf, 65536) != 0) {
+            }
+        }
+        s = seconds(t0, Clock::now());
+        if (base_lossless_read == 0)
+            base_lossless_read = s;
+        rows.push_back({"lossless_decompress", t, s,
+                        static_cast<double>(n) / s / 1e6,
+                        base_lossless_read / s});
+
         std::fprintf(stderr,
                      "  %zu thread(s): lossy %.2fs, lossless %.2fs, "
-                     "decode %.2fs\n",
-                     t, rows[rows.size() - 3].secs,
+                     "decode %.2fs, lossless decode %.2fs\n",
+                     t, rows[rows.size() - 4].secs,
+                     rows[rows.size() - 3].secs,
                      rows[rows.size() - 2].secs,
                      rows[rows.size() - 1].secs);
     }
@@ -197,8 +219,10 @@ main(int argc, char **argv)
     std::fprintf(json,
                  "{\n  \"benchmark\": \"parallel_throughput\",\n"
                  "  \"corpus\": \"%s\",\n  \"addresses\": %zu,\n"
-                 "  \"codec\": \"bwc\",\n  \"results\": [\n",
-                 bm.name.c_str(), n);
+                 "  \"codec\": \"bwc\",\n  \"container_version\": %d,\n"
+                 "  \"results\": [\n",
+                 bm.name.c_str(), n,
+                 static_cast<int>(core::kContainerVersion));
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::fprintf(json,

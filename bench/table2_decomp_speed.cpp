@@ -104,8 +104,12 @@ main()
             }
             auto s1 = Clock::now();
             {
+                // The stream was written by LosslessWriter, so it uses
+                // the params' (v3/seekable) framing, not the legacy
+                // default.
                 comp::decompressAll(comp::codecByName("bwc"),
-                                    compressed.data(), compressed.size());
+                                    compressed.data(), compressed.size(),
+                                    params.frame_format);
             }
             auto s2 = Clock::now();
             {

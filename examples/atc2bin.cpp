@@ -4,8 +4,13 @@
  * and write the (regenerated) trace as raw 64-bit values on standard
  * output. The chunk suffix is auto-detected from INFO.<suffix>.
  *
- * Usage: atc2bin [-j N] <dirname>
- *   -j N  decode with N worker threads prefetching chunks ahead
+ * Usage: atc2bin [-j N] [--container-version V] <dirname>
+ *   -j N  decode with N worker threads; on v3 containers the lossless
+ *         stream is decoded block-parallel (seekable frames)
+ *   --container-version V
+ *         require the input container to be format version V and fail
+ *         otherwise — a guard for scripts that depend on v3's
+ *         parallel-decode layout
  *
  * Example (paper Figure 8):
  *   atc2bin -j 4 foobar | wc -c
@@ -26,6 +31,7 @@ main(int argc, char **argv)
     using namespace atc;
 
     size_t threads = 1;
+    long expect_version = 0; // 0 = accept any
     const char *dir = nullptr;
     bool bad_args = false;
     for (int i = 1; i < argc; ++i) {
@@ -38,6 +44,19 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "-j", 2) == 0 &&
                    argv[i][2] != '\0') {
             threads = std::strtoull(argv[i] + 2, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--container-version") == 0) {
+            if (i + 1 >= argc) {
+                bad_args = true;
+            } else {
+                char *end = nullptr;
+                expect_version = std::strtol(argv[++i], &end, 10);
+                // Garbage or out-of-range must not silently disable
+                // the guard this flag exists to provide.
+                if (end == argv[i] || *end != '\0' ||
+                    expect_version < core::kMinContainerVersion ||
+                    expect_version > core::kContainerVersion)
+                    bad_args = true;
+            }
         } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
             bad_args = true; // unknown option, not a directory
         } else {
@@ -45,7 +64,10 @@ main(int argc, char **argv)
         }
     }
     if (dir == nullptr || bad_args) {
-        std::fprintf(stderr, "usage: %s [-j N] <dirname>\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [-j N] [--container-version V] "
+                     "<dirname>\n",
+                     argv[0]);
         return 2;
     }
 
@@ -69,6 +91,18 @@ main(int argc, char **argv)
             return 1;
         }
         serial = opened.take();
+    }
+
+    if (expect_version != 0) {
+        uint8_t got = par ? par->containerVersion()
+                          : serial->containerVersion();
+        if (got != expect_version) {
+            std::fprintf(stderr,
+                         "error: container is format v%d, expected "
+                         "v%ld\n",
+                         int(got), expect_version);
+            return 1;
+        }
     }
 
     std::vector<uint64_t> batch(1 << 16);

@@ -34,6 +34,11 @@ main(int argc, char **argv)
             reader = std::make_unique<core::AtcReader>(dir);
 
         std::printf("container:  %s\n", dir.c_str());
+        std::printf("version:    %d%s\n",
+                    int(reader->containerVersion()),
+                    reader->containerVersion() >= 3
+                        ? " (seekable frames, block-parallel decode)"
+                        : "");
         std::printf("mode:       %s\n",
                     reader->mode() == core::Mode::Lossy
                         ? "lossy ('k')"

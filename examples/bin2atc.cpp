@@ -3,8 +3,13 @@
  * CLI mirroring the paper's Figure 6: read raw 64-bit values from
  * standard input and write an ATC-compressed directory.
  *
- * Usage: bin2atc [-j N] <dirname> [c|k] [codec-spec]
+ * Usage: bin2atc [-j N] [--container-version V] <dirname> [c|k]
+ *        [codec-spec]
  *   -j N        compress with N worker threads (default 1 = serial)
+ *   --container-version V
+ *               container format version to write (default 3:
+ *               seekable framing for block-parallel decode; 2/1
+ *               reproduce the older layouts)
  *   c           lossless compression
  *   k           lossy compression (default, as in the paper's example)
  *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
@@ -28,7 +33,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [-j N] <dirname> [c|k] [codec-spec]\n",
+                 "usage: %s [-j N] [--container-version V] <dirname> "
+                 "[c|k] [codec-spec]\n",
                  argv0);
     return 2;
 }
@@ -60,9 +66,17 @@ main(int argc, char **argv)
     using namespace atc;
 
     size_t threads = 1;
+    long container_version = atc::core::kContainerVersion;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
-        if (argv[i][0] == '-' && argv[i][1] != '\0') {
+        if (std::strcmp(argv[i], "--container-version") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            char *end = nullptr;
+            container_version = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0')
+                return usage(argv[0]);
+        } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
             if (!parseThreads(argc, argv, i, threads))
                 return usage(argv[0]);
         } else {
@@ -71,6 +85,13 @@ main(int argc, char **argv)
     }
     if (positional.empty())
         return usage(argv[0]);
+    if (container_version < core::kMinContainerVersion ||
+        container_version > core::kContainerVersion) {
+        std::fprintf(stderr, "container version must be %d..%d\n",
+                     int(core::kMinContainerVersion),
+                     int(core::kContainerVersion));
+        return 2;
+    }
 
     const char mode = positional.size() > 1 ? positional[1][0] : 'k';
     if (mode != 'c' && mode != 'k') {
@@ -81,6 +102,7 @@ main(int argc, char **argv)
 
     core::AtcOptions options;
     options.mode = mode == 'k' ? core::Mode::Lossy : core::Mode::Lossless;
+    options.container_version = static_cast<uint8_t>(container_version);
     if (positional.size() > 2)
         options.pipeline.codec = positional[2];
 

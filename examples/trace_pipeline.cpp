@@ -10,8 +10,12 @@
  * hand-written per-stage loops. With -j N the compressors are the
  * parallel drivers (byte-identical containers, N worker threads).
  *
- * Usage: trace_pipeline [-j N] [benchmark] [addresses]
+ * Usage: trace_pipeline [-j N] [--container-version V] [benchmark]
+ *        [addresses]
  *   -j N       compress/decompress with N worker threads
+ *   --container-version V
+ *              container format to write (default 3; v3's seekable
+ *              frames enable block-parallel lossless decode)
  *   benchmark  suite entry name (default 429.mcf)
  *   addresses  filtered trace length (default 1000000)
  */
@@ -75,6 +79,7 @@ main(int argc, char **argv)
     using namespace atc;
 
     size_t threads = 1;
+    long container_version = core::kContainerVersion;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-j") == 0 ||
@@ -84,6 +89,25 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "-j", 2) == 0 &&
                    argv[i][2] != '\0') {
             threads = std::strtoull(argv[i] + 2, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--container-version") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: %s [-j N] [--container-version V] "
+                             "[benchmark] [addresses]\n",
+                             argv[0]);
+                return 2;
+            }
+            char *end = nullptr;
+            container_version = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' ||
+                container_version < core::kMinContainerVersion ||
+                container_version > core::kContainerVersion) {
+                std::fprintf(stderr,
+                             "container version must be %d..%d\n",
+                             int(core::kMinContainerVersion),
+                             int(core::kContainerVersion));
+                return 2;
+            }
         } else {
             positional.push_back(argv[i]);
         }
@@ -95,9 +119,9 @@ main(int argc, char **argv)
 
     const trace::SyntheticBenchmark &bench = trace::benchmarkByName(name);
     std::printf("Benchmark %s (class %s): collecting %zu cache-filtered "
-                "addresses (%zu thread%s)\n",
+                "addresses (%zu thread%s, container v%d)\n",
                 bench.name.c_str(), bench.klass.c_str(), count, threads,
-                threads == 1 ? "" : "s");
+                threads == 1 ? "" : "s", int(container_version));
     std::printf("  filter: two 32 KB / 4-way / LRU / 64 B L1 caches "
                 "(I and D)\n");
 
@@ -117,6 +141,8 @@ main(int argc, char **argv)
     core::AtcOptions lossless_opt;
     lossless_opt.mode = core::Mode::Lossless;
     lossless_opt.pipeline.buffer_addrs = count / 10;
+    lossless_opt.container_version =
+        static_cast<uint8_t>(container_version);
     Compressor lossless =
         makeCompressor(lossless_store, lossless_opt, threads);
 
@@ -124,6 +150,8 @@ main(int argc, char **argv)
     lossy_opt.mode = core::Mode::Lossy;
     lossy_opt.lossy.interval_len = count / 100;
     lossy_opt.pipeline.buffer_addrs = count / 100;
+    lossy_opt.container_version =
+        static_cast<uint8_t>(container_version);
     Compressor lossy = makeCompressor(lossy_store, lossy_opt, threads);
 
     trace::VectorTraceSource source(addrs);

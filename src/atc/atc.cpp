@@ -13,6 +13,7 @@ AtcWriter::AtcWriter(ChunkStore &store, const AtcOptions &options)
     // at construction rather than after everything has been compressed.
     ATC_CHECK(codec_.spec.size() < 256,
               "codec spec too long for INFO preamble");
+    applyContainerVersion(options_.container_version, options_.pipeline);
     options_.lossy.chunk_params = options_.pipeline;
     if (options_.mode == Mode::Lossless) {
         chunk_sink_ = store_->createChunk(0);
@@ -31,6 +32,7 @@ AtcWriter::AtcWriter(const std::string &dir, const AtcOptions &options)
 {
     ATC_CHECK(codec_.spec.size() < 256,
               "codec spec too long for INFO preamble");
+    applyContainerVersion(options_.container_version, options_.pipeline);
     options_.lossy.chunk_params = options_.pipeline;
     if (options_.mode == Mode::Lossless) {
         chunk_sink_ = store_->createChunk(0);
@@ -85,12 +87,13 @@ void
 AtcWriter::writeInfo()
 {
     if (options_.mode == Mode::Lossless) {
-        writeContainerInfo(*store_, codec_, options_.mode,
-                           options_.pipeline, count_, nullptr, 0,
-                           nullptr);
+        writeContainerInfo(*store_, codec_, options_.container_version,
+                           options_.mode, options_.pipeline, count_,
+                           nullptr, 0, nullptr);
     } else {
-        writeContainerInfo(*store_, codec_, options_.mode,
-                           options_.pipeline, count_, &options_.lossy,
+        writeContainerInfo(*store_, codec_, options_.container_version,
+                           options_.mode, options_.pipeline, count_,
+                           &options_.lossy,
                            lossy_->stats().chunks_created,
                            &lossy_->records());
     }
@@ -171,6 +174,7 @@ AtcReader::openContainer(size_t decoder_cache)
 {
     ContainerInfo info = readContainerInfo(*store_);
     mode_ = info.mode;
+    version_ = info.version;
     codec_spec_ = info.codec_spec;
     count_ = info.count;
 

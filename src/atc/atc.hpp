@@ -56,6 +56,12 @@ struct AtcOptions
     LosslessParams pipeline;
     /** Lossy-mode parameters (chunk_params is overridden by pipeline). */
     LossyParams lossy;
+    /** Container format version to write. v3 (the default) uses
+     *  seekable chunk framing enabling block-parallel decode; v2/v1
+     *  reproduce the older layouts for downgrade-compatible output.
+     *  The pipeline's frame_format/crc_trailer knobs are derived from
+     *  this at construction. Readers auto-detect the version. */
+    uint8_t container_version = kContainerVersion;
 };
 
 /** Compressing side of the ATC container. */
@@ -191,12 +197,16 @@ class AtcReader : public trace::TraceSource
     /** @return total values in the trace, from INFO. */
     uint64_t count() const { return count_; }
 
+    /** @return the container format version recorded in INFO. */
+    uint8_t containerVersion() const { return version_; }
+
   private:
     void openContainer(size_t decoder_cache);
 
     std::unique_ptr<ChunkStore> owned_store_;
     ChunkStore *store_;
     Mode mode_ = Mode::Lossless;
+    uint8_t version_ = kContainerVersion;
     std::string codec_spec_;
     uint64_t count_ = 0;
     uint64_t delivered_ = 0;

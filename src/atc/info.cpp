@@ -12,7 +12,6 @@ namespace atc::core {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'T', 'C', 'T'};
-constexpr uint8_t kVersion = 2;
 
 void
 writeString(util::ByteSink &sink, const std::string &s)
@@ -70,24 +69,42 @@ readRecord(util::ByteSource &src)
 } // namespace
 
 void
+applyContainerVersion(uint8_t version, LosslessParams &pipeline)
+{
+    ATC_CHECK(version >= kMinContainerVersion &&
+                  version <= kContainerVersion,
+              "unsupported ATC container version " +
+                  std::to_string(version));
+    pipeline.frame_format = version >= 3 ? comp::FrameFormat::Seekable
+                                         : comp::FrameFormat::Legacy;
+    pipeline.crc_trailer = version >= 2;
+}
+
+void
 writeContainerInfo(ChunkStore &store, const comp::ConfiguredCodec &codec,
-                   Mode mode, const LosslessParams &pipeline,
-                   uint64_t count, const LossyParams *lossy,
-                   uint64_t chunks_created,
+                   uint8_t version, Mode mode,
+                   const LosslessParams &pipeline, uint64_t count,
+                   const LossyParams *lossy, uint64_t chunks_created,
                    const std::vector<IntervalRecord> *records)
 {
+    ATC_CHECK(version >= kMinContainerVersion &&
+                  version <= kContainerVersion,
+              "unsupported ATC container version " +
+                  std::to_string(version));
     auto info = store.createInfo();
 
     // Uncompressed preamble. The canonical codec spec is persisted so a
     // reader reconstructs the exact codec configuration on open.
     info->write(reinterpret_cast<const uint8_t *>(kMagic), 4);
-    info->writeByte(kVersion);
+    info->writeByte(version);
     info->writeByte(static_cast<uint8_t>(mode));
     writeString(*info, codec.spec);
 
-    // Compressed payload.
+    // Compressed payload — always legacy-framed, whatever the chunk
+    // streams use: it is tiny and read serially on open.
     comp::StreamCompressor payload(*codec.codec, *info,
-                                   codec.blockOr(pipeline.codec_block));
+                                   codec.blockOr(pipeline.codec_block),
+                                   comp::FrameFormat::Legacy);
     // The mode is echoed inside the CRC-protected payload so that a
     // corrupted preamble cannot silently reinterpret the container.
     payload.writeByte(static_cast<uint8_t>(mode));
@@ -119,7 +136,11 @@ readContainerInfo(ChunkStore &store)
     ATC_CHECK(std::memcmp(magic, kMagic, 4) == 0, "not an ATC container");
     uint8_t version;
     info->readExact(&version, 1);
-    ATC_CHECK(version == kVersion, "unsupported ATC container version");
+    ATC_CHECK(version >= kMinContainerVersion &&
+                  version <= kContainerVersion,
+              "unsupported ATC container version " +
+                  std::to_string(version));
+    out.version = version;
     uint8_t mode;
     info->readExact(&mode, 1);
     ATC_CHECK(mode <= 1, "corrupt ATC container mode");
@@ -132,7 +153,8 @@ readContainerInfo(ChunkStore &store)
                     cc.status().message());
     comp::ConfiguredCodec codec = cc.take();
 
-    comp::StreamDecompressor payload(*codec.codec, *info);
+    comp::StreamDecompressor payload(*codec.codec, *info,
+                                     comp::FrameFormat::Legacy);
     uint8_t mode_echo;
     payload.readExact(&mode_echo, 1);
     ATC_CHECK(mode_echo == mode,
@@ -145,6 +167,10 @@ readContainerInfo(ChunkStore &store)
     out.pipeline.buffer_addrs =
         static_cast<size_t>(util::readVarint(payload));
     out.pipeline.codec = codec.spec;
+    // The version decides how the chunk streams are framed, so every
+    // consumer of this pipeline (serial, parallel, per-chunk lossy)
+    // sees the right layout.
+    applyContainerVersion(version, out.pipeline);
     out.count = util::readVarint(payload);
 
     if (out.mode == Mode::Lossless)

@@ -14,6 +14,16 @@
  *  - v2: chunk streams carry a CRC-32 trailer of the decompressed
  *        payload (see LosslessWriter); INFO itself is unchanged, but
  *        the version byte is bumped so v1 readers do not misparse.
+ *  - v3: chunk streams use seekable framing — every frame header also
+ *        records the compressed byte length, and each stream ends with
+ *        a frame index before the CRC trailer — so readers can locate
+ *        frame boundaries without decoding and decode blocks in
+ *        parallel. The INFO payload itself stays legacy-framed in all
+ *        versions (it is tiny and always read serially).
+ *
+ * Readers accept every version in [kMinContainerVersion,
+ * kContainerVersion]; writers pick one via AtcOptions.container_version
+ * (default kContainerVersion).
  */
 
 #ifndef ATC_ATC_INFO_HPP_
@@ -37,9 +47,24 @@ enum class Mode : uint8_t
     Lossy = 1,
 };
 
+/** Oldest container version readers still accept. */
+constexpr uint8_t kMinContainerVersion = 1;
+
+/** Newest container version; the default for writers. */
+constexpr uint8_t kContainerVersion = 3;
+
+/**
+ * Map @p version onto the chunk-stream layout knobs of @p pipeline
+ * (frame format, CRC trailer presence).
+ * @throws util::Error on a version outside the supported range
+ */
+void applyContainerVersion(uint8_t version, LosslessParams &pipeline);
+
 /** Everything a reader learns from a container's INFO stream. */
 struct ContainerInfo
 {
+    /** Container format version (1..kContainerVersion). */
+    uint8_t version = kContainerVersion;
     Mode mode = Mode::Lossless;
     /** Canonical codec spec recorded in the preamble. */
     std::string codec_spec;
@@ -59,16 +84,19 @@ struct ContainerInfo
  * Serialize and store the INFO stream.
  * @param store   destination container
  * @param codec   configured codec compressing the payload
+ * @param version container format version to record (1..kContainerVersion)
  * @param mode    container mode
  * @param pipeline transform + codec parameters to persist
  * @param count   total values written
  * @param lossy   lossy parameters; required in lossy mode, else null
  * @param chunks_created number of chunks emitted (lossy mode)
  * @param records interval trace; required in lossy mode, else null
- * @throws util::Error on I/O failure or an over-long codec spec
+ * @throws util::Error on I/O failure, a bad version, or an over-long
+ *         codec spec
  */
 void writeContainerInfo(ChunkStore &store,
-                        const comp::ConfiguredCodec &codec, Mode mode,
+                        const comp::ConfiguredCodec &codec,
+                        uint8_t version, Mode mode,
                         const LosslessParams &pipeline, uint64_t count,
                         const LossyParams *lossy, uint64_t chunks_created,
                         const std::vector<IntervalRecord> *records);

@@ -6,9 +6,150 @@
 
 namespace atc::comp {
 
+namespace {
+
+/** Largest credible decompressed frame (far above any block size). */
+constexpr uint64_t kMaxFrameRawSize = uint64_t(1) << 30;
+
+/**
+ * Sanity bound on a frame's declared sizes: generous (codecs may
+ * expand incompressible blocks) but tight enough that a corrupt varint
+ * cannot drive an absurd allocation — and, with raw_size capped first,
+ * the 4x product cannot wrap.
+ */
+bool
+plausibleFrameSizes(uint64_t raw_size, uint64_t comp_size)
+{
+    return raw_size <= kMaxFrameRawSize &&
+           comp_size <= 4 * raw_size + (1u << 20);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeFrame(const Codec &codec, const uint8_t *data, size_t n,
+            FrameFormat format, FrameIndexEntry *entry)
+{
+    std::vector<uint8_t> out;
+    util::VectorSink sink(out);
+    if (format == FrameFormat::Legacy) {
+        util::writeVarint(sink, n + 1);
+        size_t header = out.size();
+        codec.compressBlock(data, n, sink);
+        if (entry != nullptr)
+            *entry = {n, out.size() - header};
+        return out;
+    }
+    // Seekable: the compressed length goes into the header, so the
+    // payload is produced first.
+    std::vector<uint8_t> payload;
+    util::VectorSink payload_sink(payload);
+    codec.compressBlock(data, n, payload_sink);
+    util::writeVarint(sink, n + 1);
+    util::writeVarint(sink, payload.size());
+    sink.write(payload.data(), payload.size());
+    if (entry != nullptr)
+        *entry = {n, payload.size()};
+    return out;
+}
+
+void
+writeStreamEnd(util::ByteSink &sink, FrameFormat format,
+               const std::vector<FrameIndexEntry> &index)
+{
+    util::writeVarint(sink, 0);
+    if (format == FrameFormat::Legacy)
+        return;
+    sink.writeByte(1); // index present
+    util::writeVarint(sink, index.size());
+    for (const FrameIndexEntry &e : index) {
+        util::writeVarint(sink, e.raw_size);
+        util::writeVarint(sink, e.comp_size);
+    }
+}
+
+FrameScan
+readSeekableFrameHeader(util::ByteSource &src, FrameIndexEntry &entry)
+{
+    uint8_t first;
+    if (src.read(&first, 1) == 0)
+        return FrameScan::EndOfData;
+    uint64_t header = first & 0x7F;
+    int shift = 7;
+    while (first & 0x80) {
+        src.readExact(&first, 1);
+        header |= static_cast<uint64_t>(first & 0x7F) << shift;
+        shift += 7;
+        ATC_CHECK(shift <= 63, "corrupt frame header");
+    }
+    if (header == 0)
+        return FrameScan::Terminator;
+    entry.raw_size = header - 1;
+    entry.comp_size = util::readVarint(src);
+    ATC_CHECK(plausibleFrameSizes(entry.raw_size, entry.comp_size),
+              "corrupt frame header (implausible frame size)");
+    return FrameScan::Frame;
+}
+
+void
+decodeSeekableFrame(const Codec &codec, const uint8_t *comp,
+                    size_t comp_size, size_t raw_size,
+                    std::vector<uint8_t> &out)
+{
+    // Decode from the declared extent only: a codec trying to consume
+    // past it sees end-of-source, and leftover bytes are a mismatch.
+    util::MemorySource frame_src(comp, comp_size);
+    try {
+        codec.decompressBlock(frame_src, raw_size, out);
+    } catch (const util::Error &) {
+        if (frame_src.remaining() == 0)
+            util::raise("frame overruns its declared compressed length "
+                        "(corrupt container)");
+        throw;
+    }
+    ATC_CHECK(out.size() == raw_size, "frame size mismatch");
+    ATC_CHECK(frame_src.remaining() == 0,
+              "frame compressed-length mismatch (corrupt container)");
+}
+
+void
+readFrameIndex(util::ByteSource &src,
+               const std::vector<FrameIndexEntry> &seen)
+{
+    uint8_t flag;
+    uint64_t count = 0;
+    std::vector<FrameIndexEntry> stored;
+    try {
+        src.readExact(&flag, 1);
+        ATC_CHECK(flag <= 1, "corrupt frame index marker");
+        if (flag == 0)
+            return; // index omitted by the writer
+        count = util::readVarint(src);
+        ATC_CHECK(count == seen.size(),
+                  "frame index disagrees with decoded frame count "
+                  "(corrupt container)");
+        stored.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+            FrameIndexEntry e;
+            e.raw_size = util::readVarint(src);
+            e.comp_size = util::readVarint(src);
+            stored.push_back(e);
+        }
+    } catch (const util::Error &e) {
+        if (std::string(e.what()).find("truncated") != std::string::npos)
+            util::raise("chunk frame index truncated");
+        throw;
+    }
+    for (uint64_t i = 0; i < count; ++i)
+        ATC_CHECK(stored[i].raw_size == seen[i].raw_size &&
+                      stored[i].comp_size == seen[i].comp_size,
+                  "frame index entry disagrees with decoded frame " +
+                      std::to_string(i) + " (corrupt container)");
+}
+
 StreamCompressor::StreamCompressor(const Codec &codec, util::ByteSink &sink,
-                                   size_t block_size)
-    : codec_(codec), sink_(sink), block_size_(block_size)
+                                   size_t block_size, FrameFormat format)
+    : codec_(codec), sink_(sink), block_size_(block_size), format_(format)
 {
     ATC_ASSERT(block_size_ > 0);
     buffer_.reserve(block_size_);
@@ -40,8 +181,25 @@ StreamCompressor::write(const uint8_t *data, size_t n)
 void
 StreamCompressor::emitBlock()
 {
-    util::writeVarint(sink_, buffer_.size() + 1);
-    codec_.compressBlock(buffer_.data(), buffer_.size(), sink_);
+    if (format_ == FrameFormat::Legacy) {
+        // Direct write — no frame-sized staging buffer on the hot path.
+        util::writeVarint(sink_, buffer_.size() + 1);
+        codec_.compressBlock(buffer_.data(), buffer_.size(), sink_);
+    } else {
+        // Stage only the payload (its length goes in the header), then
+        // write header + payload straight to the sink — same bytes as
+        // encodeFrame without the second frame-sized copy. The parallel
+        // writer uses encodeFrame because its pooled tasks must return
+        // self-contained frames.
+        std::vector<uint8_t> payload;
+        util::VectorSink payload_sink(payload);
+        codec_.compressBlock(buffer_.data(), buffer_.size(),
+                             payload_sink);
+        util::writeVarint(sink_, buffer_.size() + 1);
+        util::writeVarint(sink_, payload.size());
+        sink_.write(payload.data(), payload.size());
+        index_.push_back({buffer_.size(), payload.size()});
+    }
     buffer_.clear();
 }
 
@@ -52,14 +210,43 @@ StreamCompressor::finish()
         return;
     if (!buffer_.empty())
         emitBlock();
-    util::writeVarint(sink_, 0);
+    writeStreamEnd(sink_, format_, index_);
     finished_ = true;
 }
 
 StreamDecompressor::StreamDecompressor(const Codec &codec,
-                                       util::ByteSource &src)
-    : codec_(codec), src_(src)
+                                       util::ByteSource &src,
+                                       FrameFormat format)
+    : codec_(codec), src_(src), format_(format)
 {
+}
+
+bool
+StreamDecompressor::refillSeekable()
+{
+    FrameIndexEntry entry;
+    switch (readSeekableFrameHeader(src_, entry)) {
+    case FrameScan::EndOfData:
+        // Clean end-of-source without terminator: accepted, like the
+        // legacy format (no index to validate in that case).
+        done_ = true;
+        return false;
+    case FrameScan::Terminator:
+        readFrameIndex(src_, seen_);
+        done_ = true;
+        return false;
+    case FrameScan::Frame:
+        break;
+    }
+
+    comp_buf_.resize(static_cast<size_t>(entry.comp_size));
+    src_.readExact(comp_buf_.data(), comp_buf_.size());
+    decodeSeekableFrame(codec_, comp_buf_.data(), comp_buf_.size(),
+                        static_cast<size_t>(entry.raw_size), block_);
+    seen_.push_back(entry);
+    crc_.update(block_.data(), block_.size());
+    pos_ = 0;
+    return true;
 }
 
 bool
@@ -67,6 +254,8 @@ StreamDecompressor::refill()
 {
     if (done_)
         return false;
+    if (format_ == FrameFormat::Seekable)
+        return refillSeekable();
 
     // Read the frame header; a clean EOF also terminates the stream.
     uint8_t first;
@@ -117,21 +306,22 @@ StreamDecompressor::read(uint8_t *data, size_t n)
 
 std::vector<uint8_t>
 compressAll(const Codec &codec, const uint8_t *data, size_t n,
-            size_t block_size)
+            size_t block_size, FrameFormat format)
 {
     std::vector<uint8_t> out;
     util::VectorSink sink(out);
-    StreamCompressor sc(codec, sink, block_size);
+    StreamCompressor sc(codec, sink, block_size, format);
     sc.write(data, n);
     sc.finish();
     return out;
 }
 
 std::vector<uint8_t>
-decompressAll(const Codec &codec, const uint8_t *data, size_t n)
+decompressAll(const Codec &codec, const uint8_t *data, size_t n,
+              FrameFormat format)
 {
     util::MemorySource src(data, n);
-    StreamDecompressor sd(codec, src);
+    StreamDecompressor sd(codec, src, format);
     std::vector<uint8_t> out;
     uint8_t buf[64 * 1024];
     for (;;) {

@@ -2,10 +2,22 @@
  * @file
  * Streaming framing on top of block codecs.
  *
- * A compressed stream is a sequence of frames, each `varint(n + 1)`
- * followed by the codec's representation of an n-byte block, terminated
- * by a single 0 varint. The terminator lets compressed streams be
- * embedded in larger files; a clean end-of-source is also accepted.
+ * Two frame formats share one stream grammar:
+ *
+ * - Legacy (container v1/v2): each frame is `varint(n + 1)` followed by
+ *   the codec's representation of an n-byte block. Readers must decode
+ *   a frame to find the next one.
+ * - Seekable (container v3): each frame header additionally records the
+ *   compressed byte length — `varint(n + 1)` `varint(c)` followed by
+ *   exactly c codec bytes — so a scanner can walk frame boundaries
+ *   without decoding, and workers can decode frames independently. The
+ *   stream ends with an optional frame index (one `(raw, compressed)`
+ *   varint pair per frame) that readers validate against the frames
+ *   actually seen.
+ *
+ * Both formats terminate with a single 0 varint. The terminator lets
+ * compressed streams be embedded in larger files; a clean end-of-source
+ * is also accepted.
  */
 
 #ifndef ATC_COMPRESS_STREAM_HPP_
@@ -23,6 +35,75 @@ namespace atc::comp {
 
 // kDefaultBlockSize lives in codec.hpp, next to the spec machinery.
 
+/** Stream frame format (see the file comment). */
+enum class FrameFormat : uint8_t
+{
+    Legacy = 0,   ///< v1/v2: decompressed block length only
+    Seekable = 1, ///< v3: + compressed length and end-of-stream index
+};
+
+/** One frame's sizes, as recorded in a Seekable stream's index. */
+struct FrameIndexEntry
+{
+    uint64_t raw_size = 0;  ///< decompressed block length
+    uint64_t comp_size = 0; ///< codec bytes in the stream
+};
+
+/**
+ * Compress one block into a self-contained frame (header + payload).
+ * The single serialization point for frames: the serial compressor and
+ * the parallel writer both call it, which is what keeps containers
+ * byte-identical across thread counts.
+ * @param entry receives the frame's index entry when non-null
+ */
+std::vector<uint8_t> encodeFrame(const Codec &codec, const uint8_t *data,
+                                 size_t n, FrameFormat format,
+                                 FrameIndexEntry *entry = nullptr);
+
+/**
+ * Emit the end-of-stream terminator and — Seekable only — the frame
+ * index for @p index.
+ */
+void writeStreamEnd(util::ByteSink &sink, FrameFormat format,
+                    const std::vector<FrameIndexEntry> &index);
+
+/** Outcome of reading one Seekable frame header. */
+enum class FrameScan
+{
+    Frame,      ///< header parsed; payload follows
+    Terminator, ///< 0 varint seen; index comes next
+    EndOfData,  ///< clean end of the source before any header byte
+};
+
+/**
+ * Read the next Seekable frame header from @p src.
+ * @param entry receives the frame sizes when the result is Frame
+ * @throws util::Error on corrupt or truncated headers
+ */
+FrameScan readSeekableFrameHeader(util::ByteSource &src,
+                                  FrameIndexEntry &entry);
+
+/**
+ * Decode one Seekable frame payload, enforcing that the codec consumes
+ * exactly @p comp_size bytes and produces exactly @p raw_size bytes.
+ * The single validation point for frames: the serial decompressor and
+ * the parallel reader's pooled decode tasks both call it, so serial
+ * and parallel readers reject identical corruption.
+ * @throws util::Error on any disagreement with the declared sizes
+ */
+void decodeSeekableFrame(const Codec &codec, const uint8_t *comp,
+                         size_t comp_size, size_t raw_size,
+                         std::vector<uint8_t> &out);
+
+/**
+ * Read a Seekable stream's frame index (positioned just after the
+ * terminator) and validate it against the frames actually decoded.
+ * @throws util::Error on a truncated index or any disagreement with
+ *         @p seen — the corruption probe for resync-style damage
+ */
+void readFrameIndex(util::ByteSource &src,
+                    const std::vector<FrameIndexEntry> &seen);
+
 /** Accumulates bytes and emits codec frames into a sink. */
 class StreamCompressor : public util::ByteSink
 {
@@ -31,16 +112,18 @@ class StreamCompressor : public util::ByteSink
      * @param codec      block codec (must outlive the compressor)
      * @param sink       destination (must outlive the compressor)
      * @param block_size bytes per block; larger blocks compress better
+     * @param format     frame format (Legacy matches container v1/v2)
      */
     StreamCompressor(const Codec &codec, util::ByteSink &sink,
-                     size_t block_size = kDefaultBlockSize);
+                     size_t block_size = kDefaultBlockSize,
+                     FrameFormat format = FrameFormat::Legacy);
 
     ~StreamCompressor() override;
 
     /** Buffer input, emitting a frame whenever a block fills. */
     void write(const uint8_t *data, size_t n) override;
 
-    /** Emit the final partial block and the end-of-stream marker. */
+    /** Emit the final partial block, the end marker and the index. */
     void finish();
 
     /** @return raw bytes consumed so far. */
@@ -55,7 +138,9 @@ class StreamCompressor : public util::ByteSink
     const Codec &codec_;
     util::ByteSink &sink_;
     size_t block_size_;
+    FrameFormat format_;
     std::vector<uint8_t> buffer_;
+    std::vector<FrameIndexEntry> index_;
     uint64_t raw_bytes_ = 0;
     util::Crc32 crc_;
     bool finished_ = false;
@@ -66,10 +151,12 @@ class StreamDecompressor : public util::ByteSource
 {
   public:
     /**
-     * @param codec block codec used to write the stream
-     * @param src   source positioned at the first frame
+     * @param codec  block codec used to write the stream
+     * @param src    source positioned at the first frame
+     * @param format frame format the stream was written with
      */
-    StreamDecompressor(const Codec &codec, util::ByteSource &src);
+    StreamDecompressor(const Codec &codec, util::ByteSource &src,
+                       FrameFormat format = FrameFormat::Legacy);
 
     /** Serve decompressed bytes; 0 at end of stream. */
     size_t read(uint8_t *data, size_t n) override;
@@ -79,10 +166,14 @@ class StreamDecompressor : public util::ByteSource
 
   private:
     bool refill();
+    bool refillSeekable();
 
     const Codec &codec_;
     util::ByteSource &src_;
+    FrameFormat format_;
     std::vector<uint8_t> block_;
+    std::vector<uint8_t> comp_buf_;
+    std::vector<FrameIndexEntry> seen_;
     size_t pos_ = 0;
     util::Crc32 crc_;
     bool done_ = false;
@@ -91,11 +182,13 @@ class StreamDecompressor : public util::ByteSource
 /** One-shot convenience: compress a whole buffer into a vector. */
 std::vector<uint8_t> compressAll(const Codec &codec,
                                  const uint8_t *data, size_t n,
-                                 size_t block_size = kDefaultBlockSize);
+                                 size_t block_size = kDefaultBlockSize,
+                                 FrameFormat format = FrameFormat::Legacy);
 
 /** One-shot convenience: decompress a whole stream into a vector. */
 std::vector<uint8_t> decompressAll(const Codec &codec,
-                                   const uint8_t *data, size_t n);
+                                   const uint8_t *data, size_t n,
+                                   FrameFormat format = FrameFormat::Legacy);
 
 } // namespace atc::comp
 

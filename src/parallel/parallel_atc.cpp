@@ -1,6 +1,7 @@
 #include "parallel/parallel_atc.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "atc/info.hpp"
@@ -69,6 +70,8 @@ ParallelAtcWriter::init()
 {
     ATC_CHECK(codec_.spec.size() < 256,
               "codec spec too long for INFO preamble");
+    core::applyContainerVersion(options_.container_version,
+                                options_.pipeline);
     options_.lossy.chunk_params = options_.pipeline;
     if (options_.mode == core::Mode::Lossless) {
         chunk_sink_ = store_->createChunk(0);
@@ -152,15 +155,17 @@ ParallelAtcWriter::dispatchBlock()
     block_buf_.reserve(block_size_);
 
     // The shared_ptr keeps the codec alive for the task even if the
-    // writer is torn down before the pool drains.
+    // writer is torn down before the pool drains. Frames go through
+    // comp::encodeFrame — the same serialization the serial
+    // StreamCompressor uses — so containers stay byte-identical.
     std::shared_ptr<const comp::Codec> codec = codec_.codec;
+    comp::FrameFormat format = options_.pipeline.frame_format;
     pending_blocks_.push_back(
-        pool_.async([codec, raw = std::move(raw)]() {
-            std::vector<uint8_t> frame;
-            util::VectorSink sink(frame);
-            util::writeVarint(sink, raw.size() + 1);
-            codec->compressBlock(raw.data(), raw.size(), sink);
-            return frame;
+        pool_.async([codec, format, raw = std::move(raw)]() {
+            comp::FrameIndexEntry entry;
+            std::vector<uint8_t> frame = comp::encodeFrame(
+                *codec, raw.data(), raw.size(), format, &entry);
+            return EncodedFrame{std::move(frame), entry};
         }));
     drainBlocks(lookahead_);
 }
@@ -169,9 +174,11 @@ void
 ParallelAtcWriter::drainBlocks(size_t keep)
 {
     while (pending_blocks_.size() > keep) {
-        std::vector<uint8_t> frame = pending_blocks_.front().get();
+        EncodedFrame frame = pending_blocks_.front().get();
         pending_blocks_.pop_front();
-        chunk_sink_->write(frame.data(), frame.size());
+        chunk_sink_->write(frame.first.data(), frame.first.size());
+        if (options_.pipeline.frame_format == comp::FrameFormat::Seekable)
+            frame_index_.push_back(frame.second);
     }
 }
 
@@ -218,20 +225,25 @@ ParallelAtcWriter::close()
         if (!block_buf_.empty())
             dispatchBlock();
         drainBlocks(0);
-        // Stream terminator + CRC trailer, exactly as the serial
-        // LosslessWriter emits them.
-        util::writeVarint(*chunk_sink_, 0);
-        util::writeLE<uint32_t>(*chunk_sink_, raw_crc_.value());
+        // Stream terminator, frame index (v3) and CRC trailer (v2+),
+        // exactly as the serial LosslessWriter emits them.
+        comp::writeStreamEnd(*chunk_sink_,
+                             options_.pipeline.frame_format,
+                             frame_index_);
+        if (options_.pipeline.crc_trailer)
+            util::writeLE<uint32_t>(*chunk_sink_, raw_crc_.value());
         chunk_sink_->flush();
-        core::writeContainerInfo(*store_, codec_, options_.mode,
-                                 options_.pipeline, count_, nullptr, 0,
-                                 nullptr);
+        core::writeContainerInfo(*store_, codec_,
+                                 options_.container_version,
+                                 options_.mode, options_.pipeline,
+                                 count_, nullptr, 0, nullptr);
     } else {
         lossy_->finish();
         drainChunks(0);
-        core::writeContainerInfo(*store_, codec_, options_.mode,
-                                 options_.pipeline, count_,
-                                 &options_.lossy,
+        core::writeContainerInfo(*store_, codec_,
+                                 options_.container_version,
+                                 options_.mode, options_.pipeline,
+                                 count_, &options_.lossy,
                                  lossy_->stats().chunks_created,
                                  &lossy_->records());
     }
@@ -304,16 +316,145 @@ ParallelAtcReader::open(const std::string &dir,
 ParallelAtcReader::~ParallelAtcReader()
 {
     // Unblock a prefetch worker stuck in push() before joining: either
-    // side closing the channel is enough to end the stream.
+    // side closing the channel is enough to end the stream. The v3
+    // scanner joins before the pool so its pending async() submissions
+    // resolve while workers are still alive.
     if (batches_)
         batches_->close();
+    if (frames_)
+        frames_->close();
+    if (scanner_.joinable())
+        scanner_.join();
     pool_.reset();
+}
+
+/**
+ * ByteSource serving the decoded frames of a seekable stream in scan
+ * order: pops one future at a time from the reader's bounded channel,
+ * accumulating the CRC of the reassembled raw stream. Decode-worker
+ * exceptions rethrow here (on the consuming thread) via future::get;
+ * scanner-side errors rethrow through the reader's scan_error_ once
+ * the channel drains.
+ */
+class DecodedFrameSource : public util::ByteSource
+{
+  public:
+    explicit DecodedFrameSource(ParallelAtcReader &reader)
+        : reader_(reader)
+    {}
+
+    size_t
+    read(uint8_t *data, size_t n) override
+    {
+        size_t got = 0;
+        while (got < n) {
+            if (pos_ == current_.size()) {
+                if (done_)
+                    break;
+                std::future<std::vector<uint8_t>> next;
+                if (!reader_.frames_->pop(next)) {
+                    done_ = true;
+                    if (reader_.scan_error_)
+                        std::rethrow_exception(reader_.scan_error_);
+                    break;
+                }
+                current_ = next.get(); // rethrows decode-worker errors
+                crc_.update(current_.data(), current_.size());
+                pos_ = 0;
+                continue;
+            }
+            size_t avail = current_.size() - pos_;
+            size_t take = (n - got) < avail ? (n - got) : avail;
+            std::memcpy(data + got, current_.data() + pos_, take);
+            got += take;
+            pos_ += take;
+        }
+        return got;
+    }
+
+    /** @return CRC-32 of the reassembled raw stream so far. */
+    uint32_t crc() const { return crc_.value(); }
+
+  private:
+    ParallelAtcReader &reader_;
+    std::vector<uint8_t> current_;
+    size_t pos_ = 0;
+    util::Crc32 crc_;
+    bool done_ = false;
+};
+
+void
+ParallelAtcReader::startSeekableLossless()
+{
+    frames_ = std::make_unique<
+        Channel<std::future<std::vector<uint8_t>>>>(
+        std::max<size_t>(lookahead_, 1));
+    auto source = std::make_unique<DecodedFrameSource>(*this);
+    transform_dec_ = std::make_unique<core::TransformDecoder>(
+        info_.pipeline.transform, *source);
+    frame_source_ = std::move(source);
+    // A dedicated scanner thread (not a pool worker): it blocks on
+    // decode-task futures and channel pushes, so parking it in the
+    // pool could starve the decoders it feeds.
+    scanner_ = std::thread([this] { scanFrames(); });
+}
+
+void
+ParallelAtcReader::scanFrames()
+{
+    try {
+        auto src = store_->openChunk(0);
+        comp::ConfiguredCodec codec = comp::makeCodec(info_.pipeline.codec);
+        std::vector<comp::FrameIndexEntry> seen;
+        for (;;) {
+            comp::FrameIndexEntry entry;
+            comp::FrameScan scan =
+                comp::readSeekableFrameHeader(*src, entry);
+            if (scan != comp::FrameScan::Frame) {
+                if (scan == comp::FrameScan::Terminator) {
+                    comp::readFrameIndex(*src, seen);
+                    if (info_.pipeline.crc_trailer)
+                        stored_crc_ = util::readLE<uint32_t>(*src);
+                }
+                // Clean EndOfData: tolerated by the framing; the
+                // trailing count/CRC checks report what is missing.
+                break;
+            }
+            std::vector<uint8_t> comp_bytes(
+                static_cast<size_t>(entry.comp_size));
+            src->readExact(comp_bytes.data(), comp_bytes.size());
+            seen.push_back(entry);
+
+            std::shared_ptr<const comp::Codec> c = codec.codec;
+            size_t raw_size = static_cast<size_t>(entry.raw_size);
+            auto decoded =
+                pool_->async([c, raw_size,
+                              comp_bytes = std::move(comp_bytes)]() {
+                    std::vector<uint8_t> raw;
+                    comp::decodeSeekableFrame(*c, comp_bytes.data(),
+                                              comp_bytes.size(),
+                                              raw_size, raw);
+                    return raw;
+                });
+            if (!frames_->push(std::move(decoded)))
+                return; // consumer abandoned the stream
+        }
+    } catch (...) {
+        // Published before close(): the channel mutex orders it ahead
+        // of the consumer observing end-of-channel.
+        scan_error_ = std::current_exception();
+    }
+    frames_->close();
 }
 
 void
 ParallelAtcReader::start()
 {
     if (info_.mode == core::Mode::Lossless) {
+        if (info_.pipeline.frame_format == comp::FrameFormat::Seekable) {
+            startSeekableLossless();
+            return;
+        }
         batches_ = std::make_unique<Channel<std::vector<uint64_t>>>(
             std::max<size_t>(lookahead_, 1));
         producer_ = pool_->async([this] {
@@ -412,8 +553,30 @@ ParallelAtcReader::nextInterval()
 }
 
 size_t
+ParallelAtcReader::readSeekableLossless(uint64_t *out, size_t n)
+{
+    // The caller thread runs only the cheap inverse transform; frame
+    // decode happens in the pool, ordered by the scan sequence.
+    size_t got = transform_dec_->read(out, n);
+    if (got == 0 && n > 0 && !stream_verified_) {
+        uint8_t extra;
+        ATC_CHECK(frame_source_->read(&extra, 1) == 0,
+                  "trailing data after the transform terminator");
+        if (info_.pipeline.crc_trailer) {
+            auto &fs = static_cast<DecodedFrameSource &>(*frame_source_);
+            ATC_CHECK(fs.crc() == stored_crc_,
+                      "chunk payload CRC mismatch (corrupt container)");
+        }
+        stream_verified_ = true;
+    }
+    return got;
+}
+
+size_t
 ParallelAtcReader::readLossless(uint64_t *out, size_t n)
 {
+    if (transform_dec_)
+        return readSeekableLossless(out, n);
     size_t got = 0;
     while (got < n) {
         if (batch_pos_ == batch_.size()) {

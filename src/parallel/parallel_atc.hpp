@@ -17,21 +17,29 @@
  * container, with a bounded in-flight window for backpressure.
  *
  * Reader: in lossy mode upcoming chunks are decoded ahead concurrently
- * (distinct chunks only; imitated intervals reuse the decoded chunk);
- * in lossless mode a background worker decodes batches ahead through a
- * bounded channel. Abandoning either side mid-stream never deadlocks:
- * destruction closes the channels, which unblocks every worker.
+ * (distinct chunks only; imitated intervals reuse the decoded chunk).
+ * In lossless mode the path depends on the container version: v3's
+ * seekable framing gets true block-parallel decode — a scanner thread
+ * walks the frame headers and dispatches compressed frames to the
+ * pool, with ordered reassembly and the CRC trailer verified across
+ * the reassembled stream — while v1/v2 fall back to a single
+ * background decoder pipelining batches through a bounded channel.
+ * Abandoning either side mid-stream never deadlocks: destruction
+ * closes the channels, which unblocks every worker.
  */
 
 #ifndef ATC_PARALLEL_PARALLEL_ATC_HPP_
 #define ATC_PARALLEL_PARALLEL_ATC_HPP_
 
 #include <deque>
+#include <exception>
 #include <future>
 #include <list>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "atc/atc.hpp"
@@ -127,14 +135,19 @@ class ParallelAtcWriter : public trace::TraceSink
     bool closed_ = false;
 
     // Lossless mode: transform on the caller thread, codec blocks in
-    // the pool, frames reassembled in submission order.
+    // the pool, frames reassembled in submission order. Each pooled
+    // task returns the encoded frame plus its index entry so the
+    // writer can emit the v3 frame index at close.
+    using EncodedFrame =
+        std::pair<std::vector<uint8_t>, comp::FrameIndexEntry>;
     std::unique_ptr<util::ByteSink> chunk_sink_;
     std::unique_ptr<util::ByteSink> block_sink_; // feeds onTransformedBytes
     std::unique_ptr<core::TransformEncoder> transform_;
     size_t block_size_ = 0;
     std::vector<uint8_t> block_buf_;
     util::Crc32 raw_crc_;
-    std::deque<std::future<std::vector<uint8_t>>> pending_blocks_;
+    std::deque<std::future<EncodedFrame>> pending_blocks_;
+    std::vector<comp::FrameIndexEntry> frame_index_;
 
     // Lossy mode: decisions on the caller thread, chunk compression in
     // the pool, chunk files written in id order.
@@ -192,14 +205,22 @@ class ParallelAtcReader : public trace::TraceSource
     /** @return total values in the trace, from INFO. */
     uint64_t count() const { return info_.count; }
 
+    /** @return the container format version recorded in INFO. */
+    uint8_t containerVersion() const { return info_.version; }
+
   private:
+    friend class DecodedFrameSource;
+
     using ChunkPtr = std::shared_ptr<const std::vector<uint64_t>>;
 
     void start();
+    void startSeekableLossless();
+    void scanFrames();
     void scheduleAhead();
     ChunkPtr loadChunk(uint32_t id);
     bool nextInterval();
     size_t readLossless(uint64_t *out, size_t n);
+    size_t readSeekableLossless(uint64_t *out, size_t n);
     size_t readLossy(uint64_t *out, size_t n);
 
     std::unique_ptr<core::ChunkStore> owned_store_;
@@ -208,12 +229,28 @@ class ParallelAtcReader : public trace::TraceSource
     size_t lookahead_;
     uint64_t delivered_ = 0;
 
-    // Lossless mode: one background decoder feeding a bounded channel.
+    // Lossless mode, legacy framing (v1/v2): one background decoder
+    // feeding a bounded channel — frames cannot be located without
+    // decoding, so the stream is pipeline-parallel only.
     std::unique_ptr<Channel<std::vector<uint64_t>>> batches_;
     std::future<void> producer_;
     std::vector<uint64_t> batch_;
     size_t batch_pos_ = 0;
     bool drained_ = false;
+
+    // Lossless mode, seekable framing (v3): a scanner thread walks
+    // frame headers (compressed extents make that possible without
+    // decoding) and dispatches each compressed frame to the pool; the
+    // caller thread reassembles decoded frames in scan order through
+    // the bounded channel, runs the cheap inverse transform, and
+    // verifies the CRC trailer across the reassembled stream.
+    std::unique_ptr<Channel<std::future<std::vector<uint8_t>>>> frames_;
+    std::thread scanner_;
+    std::exception_ptr scan_error_;
+    uint32_t stored_crc_ = 0;
+    std::unique_ptr<util::ByteSource> frame_source_;
+    std::unique_ptr<core::TransformDecoder> transform_dec_;
+    bool stream_verified_ = false;
 
     // Lossy mode: concurrent decode of upcoming distinct chunks.
     std::unordered_map<uint32_t, std::shared_future<ChunkPtr>> decodes_;
