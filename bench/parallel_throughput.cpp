@@ -1,12 +1,21 @@
 /**
  * @file
- * Parallel compression/decompression throughput sweep.
+ * Parallel compression/decompression throughput sweep, plus the
+ * random-access sweep over the same container.
  *
  * Compresses one synthetic-generator corpus with the parallel drivers
  * at increasing thread counts and reports wall-clock throughput plus
  * speedup over one thread, as JSON (for the CI perf-trajectory
  * artifact) and as a human-readable table on stderr. Containers are
  * byte-identical across thread counts — the sweep asserts it.
+ *
+ * The random-access rows exercise the AtcIndex/AtcCursor API on the
+ * lossless v3 container: `random_seek` measures seek + short-read
+ * latency at scattered offsets (reported as records/s over the reads;
+ * dominated by the containing-frame decode, so it should stay flat
+ * across thread counts), and `ranged_decode` measures readRange()
+ * throughput over scattered 5% slices with the frame decodes fanned
+ * out on the pool (this one should scale).
  *
  * Usage: parallel_throughput [addresses] [threads-csv] [json-path]
  *   addresses   corpus length (default 2000000, scaled by
@@ -22,9 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "atc/index.hpp"
 #include "bench_common.hpp"
 #include "parallel/parallel_atc.hpp"
+#include "parallel/thread_pool.hpp"
 #include "trace/pipeline.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -110,7 +122,7 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     double base_lossy = 0, base_lossless = 0, base_read = 0;
-    double base_lossless_read = 0;
+    double base_lossless_read = 0, base_seek = 0, base_ranged = 0;
     core::MemoryStore reference; // first thread count's lossy container
     core::MemoryStore lossless_ref; // ... and its lossless sibling
 
@@ -202,10 +214,65 @@ main(int argc, char **argv)
                         static_cast<double>(n) / s / 1e6,
                         base_lossless_read / s});
 
+        // Random-access sweep over the lossless v3 container, via the
+        // shared index + cursor API (no streaming reader in the way).
+        auto index = core::AtcIndex::openOrThrow(lossless_ref);
+        parallel::ThreadPool pool(t);
+        core::CursorOptions copt;
+        copt.pool = &pool;
+        auto cursor = index->cursor(copt);
+
+        // Seek latency: scattered seeks, 1000-record read each.
+        constexpr size_t kSeeks = 48;
+        constexpr size_t kSeekRead = 1000;
+        util::Rng rng(4242);
+        std::vector<uint64_t> buf(kSeekRead);
+        t0 = Clock::now();
+        for (size_t i = 0; i < kSeeks; ++i) {
+            uint64_t off = rng.below(n - kSeekRead);
+            if (!cursor->seek(off).ok() ||
+                cursor->read(buf.data(), kSeekRead) != kSeekRead) {
+                std::fprintf(stderr, "FATAL: seek sweep failed\n");
+                return 1;
+            }
+        }
+        s = seconds(t0, Clock::now());
+        if (base_seek == 0)
+            base_seek = s;
+        rows.push_back({"random_seek", t, s,
+                        static_cast<double>(kSeeks * kSeekRead) / s / 1e6,
+                        base_seek / s});
+
+        // Ranged decode: scattered 5% slices through readRange().
+        constexpr size_t kRanges = 8;
+        uint64_t slice = n / 20;
+        std::vector<uint64_t> out;
+        uint64_t ranged_total = 0;
+        t0 = Clock::now();
+        for (size_t k = 0; k < kRanges; ++k) {
+            uint64_t begin = (2 * k + 1) * (n - slice) / (2 * kRanges);
+            auto status = cursor->readRange(begin, begin + slice, out);
+            if (!status.ok() || out.size() != slice) {
+                std::fprintf(stderr, "FATAL: ranged sweep failed: %s\n",
+                             status.message().c_str());
+                return 1;
+            }
+            ranged_total += out.size();
+        }
+        s = seconds(t0, Clock::now());
+        if (base_ranged == 0)
+            base_ranged = s;
+        rows.push_back({"ranged_decode", t, s,
+                        static_cast<double>(ranged_total) / s / 1e6,
+                        base_ranged / s});
+
         std::fprintf(stderr,
                      "  %zu thread(s): lossy %.2fs, lossless %.2fs, "
-                     "decode %.2fs, lossless decode %.2fs\n",
-                     t, rows[rows.size() - 4].secs,
+                     "decode %.2fs, lossless decode %.2fs, "
+                     "seek %.2fs, ranged %.2fs\n",
+                     t, rows[rows.size() - 6].secs,
+                     rows[rows.size() - 5].secs,
+                     rows[rows.size() - 4].secs,
                      rows[rows.size() - 3].secs,
                      rows[rows.size() - 2].secs,
                      rows[rows.size() - 1].secs);

@@ -5,31 +5,48 @@
  * The chunk suffix is auto-detected; pass it explicitly only when
  * several containers share one directory.
  *
- * Usage: atcinfo <dirname> [suffix]
+ * Usage: atcinfo [--frames] <dirname> [suffix]
+ *   --frames  also print each chunk's v3 frame index: frame count and
+ *             compressed/decompressed extents, straight from the
+ *             AtcIndex scan (no payload is decoded). v1/v2 containers
+ *             carry no frame index and report so.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
 
 #include "atc/atc.hpp"
+#include "atc/index.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace atc;
 
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <dirname> [suffix]\n", argv[0]);
+    bool frames = false;
+    std::string dir;
+    std::string suffix;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--frames") == 0)
+            frames = true;
+        else if (dir.empty())
+            dir = argv[i];
+        else
+            suffix = argv[i];
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "usage: %s [--frames] <dirname> [suffix]\n",
+                     argv[0]);
         return 2;
     }
-    std::string dir = argv[1];
 
     try {
         std::unique_ptr<core::AtcReader> reader;
-        if (argc > 2)
-            reader = std::make_unique<core::AtcReader>(dir, argv[2]);
+        if (!suffix.empty())
+            reader = std::make_unique<core::AtcReader>(dir, suffix);
         else
             reader = std::make_unique<core::AtcReader>(dir);
 
@@ -63,6 +80,37 @@ main(int argc, char **argv)
                         ? 8.0 * static_cast<double>(total_bytes) /
                               static_cast<double>(reader->count())
                         : 0.0);
+        std::printf("seek:       %s\n",
+                    reader->index()->nativeSeek()
+                        ? "native (frame index / interval trace)"
+                        : "decode-and-skip fallback (v1/v2 lossless)");
+
+        if (frames) {
+            const auto &index = *reader->index();
+            for (uint32_t id = 0; id < index.chunkCount(); ++id) {
+                const comp::StreamLayout *layout = index.chunkLayout(id);
+                if (layout == nullptr) {
+                    std::printf("chunk %-4u  no frame index "
+                                "(container v%d)\n",
+                                id, int(reader->containerVersion()));
+                    continue;
+                }
+                uint64_t comp_total =
+                    layout->comp_starts.back() - layout->comp_starts[0];
+                std::printf("chunk %-4u  %5zu frames, %llu -> %llu "
+                            "bytes (x%.2f)%s\n",
+                            id, layout->frames.size(),
+                            static_cast<unsigned long long>(
+                                layout->rawTotal()),
+                            static_cast<unsigned long long>(comp_total),
+                            comp_total
+                                ? static_cast<double>(
+                                      layout->rawTotal()) /
+                                      static_cast<double>(comp_total)
+                                : 0.0,
+                            layout->indexed ? "" : " [index missing]");
+            }
+        }
 
         // Decode a prefix to prove the container is readable.
         uint64_t probe_buf[1000];

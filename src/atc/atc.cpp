@@ -125,26 +125,37 @@ AtcWriter::tryClose()
     }
 }
 
-AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
-    : store_(&store)
+namespace {
+
+CursorOptions
+cursorOptions(size_t decoder_cache)
 {
-    openContainer(decoder_cache);
+    CursorOptions copt;
+    copt.decoder_cache = decoder_cache;
+    return copt;
+}
+
+} // namespace
+
+AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
+    : index_(AtcIndex::openOrThrow(store)),
+      cursor_(index_->cursor(cursorOptions(decoder_cache)))
+{
 }
 
 AtcReader::AtcReader(const std::string &dir, size_t decoder_cache)
-    : owned_store_(std::make_unique<DirectoryStore>(
-          dir, detectContainerSuffix(dir))),
-      store_(owned_store_.get())
+    : index_(AtcIndex::openOrThrow(std::make_unique<DirectoryStore>(
+          dir, detectContainerSuffix(dir)))),
+      cursor_(index_->cursor(cursorOptions(decoder_cache)))
 {
-    openContainer(decoder_cache);
 }
 
 AtcReader::AtcReader(const std::string &dir, const std::string &suffix,
                      size_t decoder_cache)
-    : owned_store_(std::make_unique<DirectoryStore>(dir, suffix)),
-      store_(owned_store_.get())
+    : index_(AtcIndex::openOrThrow(
+          std::make_unique<DirectoryStore>(dir, suffix))),
+      cursor_(index_->cursor(cursorOptions(decoder_cache)))
 {
-    openContainer(decoder_cache);
 }
 
 util::StatusOr<std::unique_ptr<AtcReader>>
@@ -169,47 +180,13 @@ AtcReader::open(const std::string &dir, size_t decoder_cache)
 
 AtcReader::~AtcReader() = default;
 
-void
-AtcReader::openContainer(size_t decoder_cache)
-{
-    ContainerInfo info = readContainerInfo(*store_);
-    mode_ = info.mode;
-    version_ = info.version;
-    codec_spec_ = info.codec_spec;
-    count_ = info.count;
-
-    if (mode_ == Mode::Lossless) {
-        chunk_src_ = store_->openChunk(0);
-        lossless_ = std::make_unique<LosslessReader>(info.pipeline,
-                                                     *chunk_src_);
-        return;
-    }
-
-    LossyParams params;
-    params.chunk_params = info.pipeline;
-    params.decoder_cache = decoder_cache;
-    params.interval_len = info.interval_len;
-    params.epsilon = info.epsilon;
-    lossy_ = std::make_unique<LossyDecoder>(params, *store_,
-                                            std::move(info.records));
-}
-
 size_t
 AtcReader::read(uint64_t *out, size_t n)
 {
-    size_t got = lossless_ ? lossless_->read(out, n)
-                           : lossy_->read(out, n);
-    delivered_ += got;
-    // A clean end of the compressed streams before the INFO-recorded
-    // value count means chunk data is missing (partially written or
-    // truncated container) — fail loudly rather than return a silently
-    // shortened trace.
-    if (got == 0 && n > 0)
-        ATC_CHECK(delivered_ == count_,
-                  "container truncated: INFO records " +
-                      std::to_string(count_) + " values but only " +
-                      std::to_string(delivered_) + " could be decoded");
-    return got;
+    // Sequential decode is a cursor that starts at record 0 and never
+    // seeks; the cursor also enforces the truncation check (a clean
+    // end before the INFO-recorded count fails loudly).
+    return cursor_->read(out, n);
 }
 
 util::StatusOr<size_t>

@@ -34,6 +34,7 @@
 #include <string>
 
 #include "atc/container.hpp"
+#include "atc/index.hpp"
 #include "atc/info.hpp"
 #include "atc/lossless.hpp"
 #include "atc/lossy.hpp"
@@ -133,13 +134,25 @@ class AtcWriter : public trace::TraceSink
     std::unique_ptr<LossyEncoder> lossy_;
 };
 
-/** Decompressing side; mode is auto-detected from INFO. */
+/**
+ * Decompressing side; mode is auto-detected from INFO.
+ *
+ * Since the random-access redesign this is a thin driver over the
+ * cursor internals: opening a reader opens a shared AtcIndex and reads
+ * through one AtcCursor positioned at record 0, so sequential decode
+ * and random access share one code path. index() exposes the snapshot
+ * for sharing; cursor() mints additional independent read positions
+ * over the same open container.
+ */
 class AtcReader : public trace::TraceSource
 {
   public:
     /**
      * Read from an existing store.
-     * @param store source; must outlive the reader
+     * @param store source; must outlive the reader AND anything still
+     *        holding the reader's index() or cursors minted from it
+     *        (directory-opened readers have no such caveat: their
+     *        index owns the store)
      * @param decoder_cache decompressed chunks cached in lossy mode
      * @throws util::Error on missing/corrupt INFO
      */
@@ -148,6 +161,8 @@ class AtcReader : public trace::TraceSource
     /**
      * Read from a directory container, auto-detecting the chunk-file
      * suffix from the `INFO.<suffix>` file present in the directory.
+     * The underlying store is owned by the index, so index()/cursor()
+     * results stay valid after the reader is gone.
      * @throws util::Error when no INFO file is found or INFO is corrupt
      */
     explicit AtcReader(const std::string &dir, size_t decoder_cache = 8);
@@ -189,32 +204,39 @@ class AtcReader : public trace::TraceSource
     bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
     /** @return the container's compression mode. */
-    Mode mode() const { return mode_; }
+    Mode mode() const { return index_->mode(); }
 
     /** @return the codec spec recorded in INFO. */
-    const std::string &codecSpec() const { return codec_spec_; }
+    const std::string &codecSpec() const
+    {
+        return index_->info().codec_spec;
+    }
 
     /** @return total values in the trace, from INFO. */
-    uint64_t count() const { return count_; }
+    uint64_t count() const { return index_->size(); }
 
     /** @return the container format version recorded in INFO. */
-    uint8_t containerVersion() const { return version_; }
+    uint8_t containerVersion() const { return index_->version(); }
+
+    /** @return the shared seek-metadata snapshot of this container. */
+    const std::shared_ptr<const AtcIndex> &index() const
+    {
+        return index_;
+    }
+
+    /**
+     * Mint an independent seekable cursor over the same container.
+     * Cursors share the (immutable) index but hold private decode
+     * state; see index.hpp for the thread-safety rules.
+     */
+    std::unique_ptr<AtcCursor> cursor() const
+    {
+        return index_->cursor();
+    }
 
   private:
-    void openContainer(size_t decoder_cache);
-
-    std::unique_ptr<ChunkStore> owned_store_;
-    ChunkStore *store_;
-    Mode mode_ = Mode::Lossless;
-    uint8_t version_ = kContainerVersion;
-    std::string codec_spec_;
-    uint64_t count_ = 0;
-    uint64_t delivered_ = 0;
-
-    // Keep the INFO/chunk sources alive while streaming.
-    std::unique_ptr<util::ByteSource> chunk_src_;
-    std::unique_ptr<LosslessReader> lossless_;
-    std::unique_ptr<LossyDecoder> lossy_;
+    std::shared_ptr<const AtcIndex> index_;
+    std::unique_ptr<AtcCursor> cursor_;
 };
 
 } // namespace atc::core

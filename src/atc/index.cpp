@@ -1,0 +1,632 @@
+#include "atc/index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <future>
+
+#include "parallel/thread_pool.hpp"
+
+namespace atc::core {
+
+namespace {
+
+/**
+ * Raw (pre-codec) byte size of a lossless stream holding @p count
+ * records in transform buffers of @p buffer_addrs: each buffer is
+ * varint(n) + 8n bytes, and the stream ends with a 1-byte 0 varint.
+ * This is what lets the index cross-check a scanned frame layout
+ * against the INFO-recorded count without decoding anything.
+ */
+uint64_t
+expectedRawBytes(uint64_t count, uint64_t buffer_addrs)
+{
+    uint64_t full = count / buffer_addrs;
+    uint64_t rem = count % buffer_addrs;
+    uint64_t bytes = full * (util::varintLen(buffer_addrs) +
+                             8 * buffer_addrs);
+    if (rem != 0)
+        bytes += util::varintLen(rem) + 8 * rem;
+    return bytes + 1;
+}
+
+/**
+ * Serves the decompressed bytes of frames [first, frames.size()) of a
+ * scanned Seekable stream, one frame at a time, validating each header
+ * against the layout captured at open. @p src must be positioned at
+ * frame @p first's header (comp_starts[first]).
+ */
+class FrameStreamSource : public util::ByteSource
+{
+  public:
+    FrameStreamSource(const comp::Codec &codec,
+                      const comp::StreamLayout &layout,
+                      std::unique_ptr<util::ByteSource> src, size_t first)
+        : codec_(codec), layout_(layout), src_(std::move(src)),
+          next_(first)
+    {}
+
+    size_t
+    read(uint8_t *data, size_t n) override
+    {
+        size_t got = 0;
+        while (got < n) {
+            if (pos_ == block_.size()) {
+                if (!refill())
+                    break;
+                continue;
+            }
+            size_t avail = block_.size() - pos_;
+            size_t take = (n - got) < avail ? (n - got) : avail;
+            std::memcpy(data + got, block_.data() + pos_, take);
+            got += take;
+            pos_ += take;
+        }
+        return got;
+    }
+
+  private:
+    bool
+    refill()
+    {
+        if (next_ >= layout_.frames.size())
+            return false;
+        comp::readIndexedFramePayload(*src_, layout_, next_, comp_buf_);
+        comp::decodeSeekableFrame(
+            codec_, comp_buf_.data(), comp_buf_.size(),
+            static_cast<size_t>(layout_.frames[next_].raw_size), block_);
+        ++next_;
+        pos_ = 0;
+        return true;
+    }
+
+    const comp::Codec &codec_;
+    const comp::StreamLayout &layout_;
+    std::unique_ptr<util::ByteSource> src_;
+    size_t next_;
+    std::vector<uint8_t> block_;
+    std::vector<uint8_t> comp_buf_;
+    size_t pos_ = 0;
+};
+
+/** @return the interval record containing record offset @p rec. */
+size_t
+recordContaining(const std::vector<uint64_t> &starts, uint64_t rec)
+{
+    auto it = std::upper_bound(starts.begin(), starts.end(), rec);
+    return static_cast<size_t>(it - starts.begin()) - 1;
+}
+
+/**
+ * Read-and-discard exactly @p n records through @p read (a callable
+ * with TraceSource::read's signature), raising @p what if the source
+ * dries first.
+ */
+template <typename ReadFn>
+void
+discardRecords(ReadFn &&read, uint64_t n, const char *what)
+{
+    uint64_t scratch[4096];
+    while (n > 0) {
+        size_t take = n < 4096 ? static_cast<size_t>(n) : 4096;
+        size_t got = read(scratch, take);
+        ATC_CHECK(got != 0, what);
+        n -= got;
+    }
+}
+
+/** Fill @p out completely through @p read, raising @p what if the
+ *  source dries first. */
+template <typename ReadFn>
+void
+fillRecords(ReadFn &&read, std::vector<uint64_t> &out, const char *what)
+{
+    size_t filled = 0;
+    while (filled < out.size()) {
+        size_t got = read(out.data() + filled, out.size() - filled);
+        ATC_CHECK(got != 0, what);
+        filled += got;
+    }
+}
+
+} // namespace
+
+AtcIndex::AtcIndex(ChunkStore &store) : store_(&store) {}
+
+AtcIndex::AtcIndex(std::unique_ptr<ChunkStore> owned)
+    : owned_store_(std::move(owned)), store_(owned_store_.get())
+{
+}
+
+void
+AtcIndex::load()
+{
+    info_ = readContainerInfo(*store_);
+
+    if (info_.mode == Mode::Lossy) {
+        record_starts_.reserve(info_.records.size() + 1);
+        record_starts_.push_back(0);
+        uint64_t sum = 0;
+        for (const IntervalRecord &rec : info_.records) {
+            sum += rec.length;
+            record_starts_.push_back(sum);
+        }
+        ATC_CHECK(sum == info_.count,
+                  "interval trace length disagrees with the INFO "
+                  "record count (corrupt container)");
+    }
+
+    if (info_.pipeline.frame_format != comp::FrameFormat::Seekable)
+        return; // v1/v2: no frame index; cursors decode-and-skip
+
+    uint32_t chunks = chunkCount();
+    layouts_.reserve(chunks);
+    for (uint32_t id = 0; id < chunks; ++id) {
+        auto src = store_->openChunk(id);
+        layouts_.push_back(
+            comp::scanSeekableStream(*src, info_.pipeline.crc_trailer));
+    }
+
+    // Cross-check the scanned layouts against the INFO-recorded
+    // lengths wherever the expected raw size is computable — a cheap,
+    // decode-free probe for cross-linked or swapped chunk files.
+    if (info_.mode == Mode::Lossless) {
+        ATC_CHECK(!layouts_[0].indexed ||
+                      layouts_[0].rawTotal() ==
+                          expectedRawBytes(info_.count,
+                                           info_.pipeline.buffer_addrs),
+                  "chunk stream size disagrees with the INFO record "
+                  "count (truncated or cross-linked container)");
+    } else {
+        for (const IntervalRecord &rec : info_.records) {
+            if (rec.kind != IntervalRecord::Kind::Chunk)
+                continue;
+            const comp::StreamLayout &layout = layouts_[rec.chunk_id];
+            ATC_CHECK(!layout.indexed ||
+                          layout.rawTotal() ==
+                              expectedRawBytes(
+                                  rec.length,
+                                  info_.pipeline.buffer_addrs),
+                      "chunk " + std::to_string(rec.chunk_id) +
+                          " size disagrees with its interval record "
+                          "(corrupt container)");
+        }
+    }
+}
+
+util::StatusOr<std::shared_ptr<const AtcIndex>>
+AtcIndex::open(ChunkStore &store)
+{
+    try {
+        return openOrThrow(store);
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::shared_ptr<const AtcIndex>>
+AtcIndex::open(const std::string &dir)
+{
+    try {
+        auto store = std::make_unique<DirectoryStore>(
+            dir, detectContainerSuffix(dir));
+        std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
+        index->load();
+        return std::shared_ptr<const AtcIndex>(std::move(index));
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+util::StatusOr<std::shared_ptr<const AtcIndex>>
+AtcIndex::open(const std::string &dir, const std::string &suffix)
+{
+    try {
+        auto store = std::make_unique<DirectoryStore>(dir, suffix);
+        std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
+        index->load();
+        return std::shared_ptr<const AtcIndex>(std::move(index));
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+std::shared_ptr<const AtcIndex>
+AtcIndex::openOrThrow(ChunkStore &store)
+{
+    std::shared_ptr<AtcIndex> index(new AtcIndex(store));
+    index->load();
+    return index;
+}
+
+std::shared_ptr<const AtcIndex>
+AtcIndex::openOrThrow(std::unique_ptr<ChunkStore> store)
+{
+    std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
+    index->load();
+    return index;
+}
+
+std::unique_ptr<AtcCursor>
+AtcIndex::cursor(const CursorOptions &copt) const
+{
+    return std::make_unique<AtcCursor>(shared_from_this(), copt);
+}
+
+bool
+AtcIndex::nativeSeek() const
+{
+    // Lossy seeks resolve through the interval trace alone, so every
+    // version seeks natively at interval granularity; lossless needs
+    // the v3 frame index.
+    return info_.mode == Mode::Lossy || !layouts_.empty();
+}
+
+uint32_t
+AtcIndex::chunkCount() const
+{
+    return info_.mode == Mode::Lossless
+               ? 1
+               : static_cast<uint32_t>(info_.chunk_count);
+}
+
+const comp::StreamLayout *
+AtcIndex::chunkLayout(uint32_t id) const
+{
+    if (id >= layouts_.size())
+        return nullptr;
+    return &layouts_[id];
+}
+
+uint64_t
+AtcIndex::bufferOf(uint64_t rec) const
+{
+    return rec / info_.pipeline.buffer_addrs;
+}
+
+uint64_t
+AtcIndex::bufferLen(uint64_t b) const
+{
+    uint64_t buffer = info_.pipeline.buffer_addrs;
+    uint64_t full = info_.count / buffer;
+    return b < full ? buffer : info_.count % buffer;
+}
+
+uint64_t
+AtcIndex::bufferRawOffset(uint64_t b) const
+{
+    uint64_t buffer = info_.pipeline.buffer_addrs;
+    return b * (util::varintLen(buffer) + 8 * buffer);
+}
+
+AtcCursor::AtcCursor(std::shared_ptr<const AtcIndex> index,
+                     const CursorOptions &copt)
+    : index_(std::move(index)), pool_(copt.pool)
+{
+    const ContainerInfo &info = index_->info();
+    if (info.mode == Mode::Lossless) {
+        codec_ = comp::makeCodec(info.pipeline.codec);
+        resetSequential();
+    } else {
+        LossyParams params;
+        params.chunk_params = info.pipeline;
+        params.decoder_cache = copt.decoder_cache;
+        params.interval_len = info.interval_len;
+        params.epsilon = info.epsilon;
+        lossy_ = std::make_unique<LossyDecoder>(params, index_->store(),
+                                                &info.records);
+    }
+}
+
+AtcCursor::~AtcCursor() = default;
+
+void
+AtcCursor::resetSequential()
+{
+    // The from-the-start pipeline is the plain LosslessReader, so a
+    // cursor that never seeks (or re-seeks to 0) keeps the full
+    // sequential behavior — including CRC-trailer verification, which
+    // a mid-stream seek necessarily forfeits.
+    transform_.reset();
+    frame_src_.reset();
+    sequential_.reset();
+    chunk_src_ = index_->store().openChunk(0);
+    sequential_ = std::make_unique<LosslessReader>(
+        index_->info().pipeline, *chunk_src_);
+    pos_ = 0;
+}
+
+size_t
+AtcCursor::readImpl(uint64_t *out, size_t n)
+{
+    size_t got = 0;
+    if (lossy_)
+        got = lossy_->read(out, n);
+    else if (sequential_)
+        got = sequential_->read(out, n);
+    else if (transform_)
+        got = transform_->read(out, n);
+    pos_ += got;
+    // A clean end before the INFO-recorded count means chunk data is
+    // missing — fail loudly rather than return a shortened trace.
+    if (got == 0 && n > 0)
+        ATC_CHECK(pos_ == index_->size(),
+                  "container truncated: INFO records " +
+                      std::to_string(index_->size()) +
+                      " values but only " + std::to_string(pos_) +
+                      " could be decoded");
+    return got;
+}
+
+size_t
+AtcCursor::read(uint64_t *out, size_t n)
+{
+    return readImpl(out, n);
+}
+
+void
+AtcCursor::skipRecords(uint64_t n)
+{
+    discardRecords(
+        [this](uint64_t *out, size_t take) { return readImpl(out, take); },
+        n, "container truncated while seeking");
+}
+
+util::Status
+AtcCursor::seek(uint64_t record_index)
+{
+    if (record_index > index_->size())
+        return util::Status::error(
+            "seek out of range: record " + std::to_string(record_index) +
+            " exceeds trace size " + std::to_string(index_->size()));
+    try {
+        if (lossy_)
+            seekLossy(record_index);
+        else if (index_->chunkLayout(0) != nullptr)
+            seekLossless(record_index);
+        else
+            seekLosslessFallback(record_index);
+        return util::Status();
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+void
+AtcCursor::seekLossless(uint64_t rec)
+{
+    if (rec == 0) {
+        resetSequential();
+        return;
+    }
+    if (rec == index_->size()) {
+        // Positioned at end: nothing left to decode.
+        transform_.reset();
+        frame_src_.reset();
+        sequential_.reset();
+        chunk_src_.reset();
+        pos_ = rec;
+        return;
+    }
+
+    // Record -> containing transform buffer -> raw byte offset ->
+    // containing frame (binary search) -> compressed byte offset.
+    // Only the frames from there on are ever decoded.
+    const comp::StreamLayout &layout = *index_->chunkLayout(0);
+    uint64_t b = index_->bufferOf(rec);
+    uint64_t raw_off = index_->bufferRawOffset(b);
+    ATC_CHECK(raw_off < layout.rawTotal(),
+              "container truncated: record " + std::to_string(rec) +
+                  " lies past the indexed frames");
+    size_t f = layout.frameContaining(raw_off);
+
+    auto src = index_->store().openChunk(0);
+    src->skip(layout.comp_starts[f]);
+    auto frames = std::make_unique<FrameStreamSource>(
+        *codec_.codec, layout, std::move(src), f);
+    // Discard the tail of the frame that precedes the buffer start,
+    // then the records that precede the target inside its buffer.
+    frames->skip(raw_off - layout.raw_starts[f]);
+    sequential_.reset();
+    chunk_src_.reset();
+    transform_ = std::make_unique<TransformDecoder>(
+        index_->info().pipeline.transform, *frames);
+    frame_src_ = std::move(frames);
+    pos_ = b * index_->info().pipeline.buffer_addrs;
+    skipRecords(rec - pos_);
+}
+
+void
+AtcCursor::seekLosslessFallback(uint64_t rec)
+{
+    // v1/v2: frames carry no compressed extents, so the only way to
+    // reach a record is to decode everything before it. Backward seeks
+    // restart the stream; forward seeks decode-and-skip.
+    if (rec < pos_ || !sequential_)
+        resetSequential();
+    skipRecords(rec - pos_);
+}
+
+void
+AtcCursor::seekLossy(uint64_t rec)
+{
+    // Land on the boundary of the interval containing the request —
+    // the documented lossy approximation. tell() reports the landing
+    // point, which is never past the request.
+    const std::vector<uint64_t> &starts = index_->recordStarts();
+    if (rec == index_->size()) {
+        lossy_->seekRecord(index_->info().records.size());
+        pos_ = rec;
+        return;
+    }
+    size_t i = recordContaining(starts, rec);
+    lossy_->seekRecord(i);
+    pos_ = starts[i];
+}
+
+std::vector<uint8_t>
+AtcCursor::decodeFrames(size_t first, size_t last)
+{
+    const comp::StreamLayout &layout = *index_->chunkLayout(0);
+    auto src = index_->store().openChunk(0);
+    src->skip(layout.comp_starts[first]);
+    std::vector<uint8_t> out;
+    out.reserve(static_cast<size_t>(layout.raw_starts[last + 1] -
+                                    layout.raw_starts[first]));
+
+    if (pool_ == nullptr) {
+        std::vector<uint8_t> comp, block;
+        for (size_t f = first; f <= last; ++f) {
+            comp::readIndexedFramePayload(*src, layout, f, comp);
+            comp::decodeSeekableFrame(
+                *codec_.codec, comp.data(), comp.size(),
+                static_cast<size_t>(layout.frames[f].raw_size), block);
+            out.insert(out.end(), block.begin(), block.end());
+        }
+        return out;
+    }
+
+    // Fan the dominant cost — per-frame codec decode — out to the
+    // pool; the compressed bytes are read serially (cheap) and the
+    // futures resolve in submission order for in-order reassembly.
+    std::shared_ptr<const comp::Codec> codec = codec_.codec;
+    std::deque<std::future<std::vector<uint8_t>>> pending;
+    for (size_t f = first; f <= last; ++f) {
+        std::vector<uint8_t> comp;
+        comp::readIndexedFramePayload(*src, layout, f, comp);
+        size_t raw_size = static_cast<size_t>(layout.frames[f].raw_size);
+        pending.push_back(
+            pool_->async([codec, raw_size, comp = std::move(comp)]() {
+                std::vector<uint8_t> block;
+                comp::decodeSeekableFrame(*codec, comp.data(),
+                                          comp.size(), raw_size, block);
+                return block;
+            }));
+    }
+    while (!pending.empty()) {
+        std::vector<uint8_t> block = pending.front().get();
+        pending.pop_front();
+        out.insert(out.end(), block.begin(), block.end());
+    }
+    return out;
+}
+
+void
+AtcCursor::rangeLossless(uint64_t begin, uint64_t end,
+                         std::vector<uint64_t> &out)
+{
+    const ContainerInfo &info = index_->info();
+    uint64_t want = end - begin;
+
+    const comp::StreamLayout *layout = index_->chunkLayout(0);
+    if (layout == nullptr) {
+        // v1/v2 fallback: an independent decode-and-skip pass.
+        auto src = index_->store().openChunk(0);
+        LosslessReader reader(info.pipeline, *src);
+        auto read = [&reader](uint64_t *o, size_t n) {
+            return reader.read(o, n);
+        };
+        discardRecords(read, begin, "container truncated inside the range");
+        out.resize(static_cast<size_t>(want));
+        fillRecords(read, out, "container truncated inside the range");
+        return;
+    }
+
+    // Covering transform buffers -> covering frames; decode exactly
+    // those frames (in the pool when one is attached), inverse-
+    // transform, and slice the requested records out.
+    uint64_t b0 = index_->bufferOf(begin);
+    uint64_t b1 = index_->bufferOf(end - 1);
+    uint64_t raw0 = index_->bufferRawOffset(b0);
+    uint64_t raw1 = index_->bufferRawOffset(b1) +
+                    util::varintLen(index_->bufferLen(b1)) +
+                    8 * index_->bufferLen(b1);
+    ATC_CHECK(raw1 <= layout->rawTotal(),
+              "container truncated: range lies past the indexed frames");
+    size_t f0 = layout->frameContaining(raw0);
+    size_t f1 = layout->frameContaining(raw1 - 1);
+
+    std::vector<uint8_t> raw = decodeFrames(f0, f1);
+    util::MemorySource mem(raw.data(), raw.size());
+    mem.skip(raw0 - layout->raw_starts[f0]);
+    TransformDecoder transform(info.pipeline.transform, mem);
+    auto read = [&transform](uint64_t *o, size_t n) {
+        return transform.read(o, n);
+    };
+    discardRecords(read, begin - b0 * info.pipeline.buffer_addrs,
+                   "container truncated inside the range");
+    out.resize(static_cast<size_t>(want));
+    fillRecords(read, out, "container truncated inside the range");
+}
+
+void
+AtcCursor::rangeLossy(uint64_t begin, uint64_t end,
+                      std::vector<uint64_t> &out)
+{
+    // Unlike seek(), extraction is record-exact: decode the intervals
+    // covering the range (whole chunks — the lossy unit of decode) and
+    // slice. The cursor's decoder does the work so its chunk cache is
+    // shared; its position is restored afterwards.
+    const std::vector<uint64_t> &starts = index_->recordStarts();
+    uint64_t save = pos_;
+
+    auto read = [this](uint64_t *o, size_t n) {
+        return lossy_->read(o, n);
+    };
+    try {
+        size_t i0 = recordContaining(starts, begin);
+        lossy_->seekRecord(i0);
+        discardRecords(read, begin - starts[i0],
+                       "container truncated inside the range");
+        out.resize(static_cast<size_t>(end - begin));
+        fillRecords(read, out, "container truncated inside the range");
+
+        // Restore the streaming position (boundary + in-interval skip).
+        if (save == index_->size()) {
+            lossy_->seekRecord(index_->info().records.size());
+            return;
+        }
+        size_t ri = recordContaining(starts, save);
+        lossy_->seekRecord(ri);
+        discardRecords(read, save - starts[ri],
+                       "container truncated restoring the cursor");
+    } catch (...) {
+        // Keep tell() truthful when the extraction (or the exact
+        // restore) fails mid-way: park the decoder on the boundary of
+        // the interval containing the saved position — a pure state
+        // reset that cannot itself fail — and move pos_ there too.
+        if (save == index_->size()) {
+            lossy_->seekRecord(index_->info().records.size());
+        } else {
+            size_t ri = recordContaining(starts, save);
+            lossy_->seekRecord(ri);
+            pos_ = starts[ri];
+        }
+        throw;
+    }
+}
+
+util::Status
+AtcCursor::readRange(uint64_t begin, uint64_t end,
+                     std::vector<uint64_t> &out)
+{
+    if (begin > end || end > index_->size())
+        return util::Status::error(
+            "range out of range: [" + std::to_string(begin) + ", " +
+            std::to_string(end) + ") over trace size " +
+            std::to_string(index_->size()));
+    out.clear();
+    if (begin == end)
+        return util::Status();
+    try {
+        if (lossy_)
+            rangeLossy(begin, end, out);
+        else
+            rangeLossless(begin, end, out);
+        return util::Status();
+    } catch (const util::Error &e) {
+        return util::Status::error(e.what());
+    }
+}
+
+} // namespace atc::core

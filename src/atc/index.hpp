@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Random-access read API over ATC containers.
+ *
+ * AtcIndex is an immutable, open-once snapshot of everything needed to
+ * locate a record without decoding the records before it: the parsed
+ * INFO stream, every chunk's v3 frame index (scanned from the seekable
+ * frame headers without touching payloads, then validated against the
+ * stored end-of-stream index), and — in lossy mode — the cumulative
+ * record offsets of the interval trace. One AtcIndex may be shared by
+ * any number of threads; it never mutates after open().
+ *
+ * AtcCursor is the trace::TraceCursor implementation minted from an
+ * AtcIndex. Cursors are cheap: each holds only its own decode state,
+ * so a consumer wanting several independent read positions opens
+ * several cursors. seek() on a lossless v3 container binary-searches
+ * the frame index and decodes only from the containing frame onward;
+ * on lossy containers it lands on the containing interval boundary
+ * (the paper's lossy semantics make positions inside an imitated
+ * interval approximations anyway — tell() reports where the cursor
+ * actually landed). v1/v2 containers carry no frame index, so their
+ * cursors fall back to decode-and-skip behind the same API.
+ *
+ * Thread-safety rules:
+ *  - AtcIndex: immutable, share freely (its ChunkStore must stay
+ *    readable and unmodified for the index's lifetime, and openChunk()
+ *    must be callable concurrently — DirectoryStore and MemoryStore
+ *    both qualify).
+ *  - AtcCursor: confined to one thread at a time; concurrent use of
+ *    *different* cursors over one AtcIndex is supported and tested.
+ *  - A cursor keeps its AtcIndex alive (shared ownership) but only
+ *    borrows the optional thread pool — the pool must outlive the
+ *    cursor.
+ */
+
+#ifndef ATC_ATC_INDEX_HPP_
+#define ATC_ATC_INDEX_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atc/container.hpp"
+#include "atc/info.hpp"
+#include "atc/lossless.hpp"
+#include "atc/lossy.hpp"
+#include "compress/stream.hpp"
+#include "trace/pipeline.hpp"
+#include "util/status.hpp"
+
+namespace atc::parallel {
+class ThreadPool;
+} // namespace atc::parallel
+
+namespace atc::core {
+
+class AtcCursor;
+
+/** Knobs of a cursor minted by AtcIndex::cursor(). */
+struct CursorOptions
+{
+    /** Borrowed pool; when set, readRange() fans the decode of the
+     *  covering frames out to it (lossless v3 only). Must outlive the
+     *  cursor. */
+    parallel::ThreadPool *pool = nullptr;
+    /** Decompressed chunks cached by lossy-mode cursors. */
+    size_t decoder_cache = 8;
+};
+
+/** Immutable, shareable snapshot of a container's seek metadata. */
+class AtcIndex : public std::enable_shared_from_this<AtcIndex>
+{
+  public:
+    /**
+     * Open over an existing store (borrowed; must outlive the index
+     * and stay unmodified). Reads INFO and, on v3 containers, scans
+     * and validates every chunk's frame index — payloads are skipped,
+     * never decoded, so open cost is I/O over headers only.
+     */
+    static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
+        ChunkStore &store);
+
+    /** Open a directory container, auto-detecting the suffix. */
+    static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
+        const std::string &dir);
+
+    /** Open a directory container with an explicit suffix. */
+    static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
+        const std::string &dir, const std::string &suffix);
+
+    /** Throwing variant of open() for internal callers. */
+    static std::shared_ptr<const AtcIndex> openOrThrow(ChunkStore &store);
+
+    /**
+     * Throwing open() that takes ownership of @p store, making the
+     * snapshot fully self-contained — the directory-opened readers use
+     * this so their index() survives the reader itself.
+     */
+    static std::shared_ptr<const AtcIndex> openOrThrow(
+        std::unique_ptr<ChunkStore> store);
+
+    /**
+     * Mint a new cursor positioned at record 0. Any number of cursors
+     * may coexist; each is independent.
+     */
+    std::unique_ptr<AtcCursor> cursor(
+        const CursorOptions &copt = {}) const;
+
+    /** @return the parsed INFO (records included in lossy mode). */
+    const ContainerInfo &info() const { return info_; }
+
+    /** @return total records in the trace. */
+    uint64_t size() const { return info_.count; }
+
+    /** @return the container's compression mode. */
+    Mode mode() const { return info_.mode; }
+
+    /** @return the container format version. */
+    uint8_t version() const { return info_.version; }
+
+    /**
+     * @return true when seeks resolve through the v3 frame index
+     * (lossless) or the interval trace (lossy) without decoding
+     * skipped data; false means cursors decode-and-skip (v1/v2
+     * lossless).
+     */
+    bool nativeSeek() const;
+
+    /** @return number of chunks in the container. */
+    uint32_t chunkCount() const;
+
+    /**
+     * @return chunk @p id's scanned frame layout, or nullptr when the
+     * container predates seekable framing (v1/v2).
+     */
+    const comp::StreamLayout *chunkLayout(uint32_t id) const;
+
+    /** @return cumulative record start offsets of the interval trace
+     *  (records().size() + 1 entries); empty in lossless mode. */
+    const std::vector<uint64_t> &recordStarts() const
+    {
+        return record_starts_;
+    }
+
+    /** @return the backing store. */
+    ChunkStore &store() const { return *store_; }
+
+    // ---- lossless transform-buffer geometry (derived from INFO) ----
+    // The raw (pre-codec) stream is a sequence of self-contained
+    // transform buffers — varint(n) + 8n bytes each — of exactly
+    // buffer_addrs records apiece (the final one possibly shorter), so
+    // the raw byte offset of any buffer is computable without I/O.
+
+    /** @return the transform buffer containing record @p rec. */
+    uint64_t bufferOf(uint64_t rec) const;
+
+    /** @return records in transform buffer @p b. */
+    uint64_t bufferLen(uint64_t b) const;
+
+    /** @return raw-stream byte offset where buffer @p b starts. */
+    uint64_t bufferRawOffset(uint64_t b) const;
+
+    AtcIndex(const AtcIndex &) = delete;
+    AtcIndex &operator=(const AtcIndex &) = delete;
+
+  private:
+    friend class AtcCursor;
+
+    explicit AtcIndex(ChunkStore &store);
+    AtcIndex(std::unique_ptr<ChunkStore> owned);
+
+    void load();
+
+    std::unique_ptr<ChunkStore> owned_store_;
+    ChunkStore *store_;
+    ContainerInfo info_;
+    /** v3 only: one scanned layout per chunk, indexed by chunk id. */
+    std::vector<comp::StreamLayout> layouts_;
+    /** Lossy only: record_starts_[i] = first record of interval i. */
+    std::vector<uint64_t> record_starts_;
+};
+
+/** Seekable reader over one AtcIndex; see the file comment. */
+class AtcCursor : public trace::TraceCursor
+{
+  public:
+    AtcCursor(std::shared_ptr<const AtcIndex> index,
+              const CursorOptions &copt);
+    ~AtcCursor() override;
+
+    AtcCursor(const AtcCursor &) = delete;
+    AtcCursor &operator=(const AtcCursor &) = delete;
+
+    /** Produce up to @p n records from the current position. */
+    size_t read(uint64_t *out, size_t n) override;
+
+    util::Status seek(uint64_t record_index) override;
+    uint64_t tell() const override { return pos_; }
+    uint64_t size() const override { return index_->size(); }
+    util::Status readRange(uint64_t begin, uint64_t end,
+                           std::vector<uint64_t> &out) override;
+
+    /** @return the shared index this cursor reads through. */
+    const std::shared_ptr<const AtcIndex> &index() const { return index_; }
+
+  private:
+    void resetSequential();
+    void seekLossless(uint64_t rec);
+    void seekLosslessFallback(uint64_t rec);
+    void seekLossy(uint64_t rec);
+    void skipRecords(uint64_t n);
+    size_t readImpl(uint64_t *out, size_t n);
+    void rangeLossless(uint64_t begin, uint64_t end,
+                       std::vector<uint64_t> &out);
+    void rangeLossy(uint64_t begin, uint64_t end,
+                    std::vector<uint64_t> &out);
+    std::vector<uint8_t> decodeFrames(size_t first, size_t last);
+
+    std::shared_ptr<const AtcIndex> index_;
+    parallel::ThreadPool *pool_;
+    uint64_t pos_ = 0;
+
+    // Lossless state: either the sequential pipeline (LosslessReader,
+    // CRC-verifying — active from construction and after seek(0)) or
+    // the mid-stream pipeline built by a v3 seek.
+    comp::ConfiguredCodec codec_;
+    std::unique_ptr<util::ByteSource> chunk_src_;
+    std::unique_ptr<LosslessReader> sequential_;
+    std::unique_ptr<util::ByteSource> frame_src_;
+    std::unique_ptr<TransformDecoder> transform_;
+
+    // Lossy state: shared interval trace, private chunk cache.
+    std::unique_ptr<LossyDecoder> lossy_;
+};
+
+} // namespace atc::core
+
+#endif // ATC_ATC_INDEX_HPP_

@@ -118,8 +118,25 @@ LossyEncoder::finish()
 
 LossyDecoder::LossyDecoder(const LossyParams &params, ChunkStore &store,
                            std::vector<IntervalRecord> records)
-    : params_(params), store_(store), records_(std::move(records))
+    : params_(params), store_(store), owned_records_(std::move(records)),
+      records_(&owned_records_)
 {
+}
+
+LossyDecoder::LossyDecoder(const LossyParams &params, ChunkStore &store,
+                           const std::vector<IntervalRecord> *records)
+    : params_(params), store_(store), records_(records)
+{
+    ATC_ASSERT(records_ != nullptr);
+}
+
+void
+LossyDecoder::seekRecord(size_t record_idx)
+{
+    ATC_ASSERT(record_idx <= records_->size());
+    record_idx_ = record_idx;
+    interval_.clear();
+    pos_ = 0;
 }
 
 const std::vector<uint64_t> &
@@ -153,9 +170,9 @@ LossyDecoder::loadChunk(uint32_t id)
 bool
 LossyDecoder::nextInterval()
 {
-    if (record_idx_ >= records_.size())
+    if (record_idx_ >= records_->size())
         return false;
-    const IntervalRecord &rec = records_[record_idx_++];
+    const IntervalRecord &rec = (*records_)[record_idx_++];
     const std::vector<uint64_t> &chunk = loadChunk(rec.chunk_id);
     ATC_CHECK(chunk.size() == rec.length,
               "interval record length mismatch");

@@ -146,6 +146,20 @@ class LossyDecoder
                  std::vector<IntervalRecord> records);
 
     /**
+     * Borrowing variant for shared, read-only interval traces (e.g.
+     * the records held by an AtcIndex): @p records must outlive the
+     * decoder. Imitation translations can run to 2 KiB per record, so
+     * cursors sharing one index must not copy the trace per cursor.
+     */
+    LossyDecoder(const LossyParams &params, ChunkStore &store,
+                 const std::vector<IntervalRecord> *records);
+
+    // records_ may point at the sibling owned_records_, so the
+    // compiler-generated copy/move would leave the copy dangling.
+    LossyDecoder(const LossyDecoder &) = delete;
+    LossyDecoder &operator=(const LossyDecoder &) = delete;
+
+    /**
      * Produce up to @p n regenerated addresses — the primary entry.
      * @return addresses produced; 0 means end of trace
      */
@@ -157,6 +171,17 @@ class LossyDecoder
      */
     bool decode(uint64_t *out) { return read(out, 1) == 1; }
 
+    /**
+     * Reposition so the next read() starts at the beginning of
+     * interval record @p record_idx (== records().size() positions at
+     * end of trace). The decompressed-chunk cache is kept — seeking
+     * around a working set of imitated intervals stays cheap.
+     */
+    void seekRecord(size_t record_idx);
+
+    /** @return the interval trace driving this decoder. */
+    const std::vector<IntervalRecord> &records() const { return *records_; }
+
   private:
     /** Load (or fetch cached) decompressed chunk @p id. */
     const std::vector<uint64_t> &loadChunk(uint32_t id);
@@ -164,7 +189,8 @@ class LossyDecoder
 
     LossyParams params_;
     ChunkStore &store_;
-    std::vector<IntervalRecord> records_;
+    std::vector<IntervalRecord> owned_records_;
+    const std::vector<IntervalRecord> *records_;
     size_t record_idx_ = 0;
 
     // LRU cache of decompressed chunks.

@@ -1,5 +1,6 @@
 #include "compress/stream.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/status.hpp"
@@ -145,6 +146,66 @@ readFrameIndex(util::ByteSource &src,
                       stored[i].comp_size == seen[i].comp_size,
                   "frame index entry disagrees with decoded frame " +
                       std::to_string(i) + " (corrupt container)");
+}
+
+size_t
+StreamLayout::frameContaining(uint64_t raw_off) const
+{
+    ATC_ASSERT(raw_off < rawTotal());
+    // upper_bound over the cumulative starts: the first start > raw_off
+    // is the *next* frame's.
+    auto it = std::upper_bound(raw_starts.begin(), raw_starts.end(),
+                               raw_off);
+    return static_cast<size_t>(it - raw_starts.begin()) - 1;
+}
+
+StreamLayout
+scanSeekableStream(util::ByteSource &src, bool crc_trailer)
+{
+    StreamLayout layout;
+    layout.raw_starts.push_back(0);
+    layout.comp_starts.push_back(0);
+    uint64_t raw = 0, pos = 0;
+    for (;;) {
+        FrameIndexEntry entry;
+        FrameScan scan = readSeekableFrameHeader(src, entry);
+        if (scan == FrameScan::Terminator) {
+            readFrameIndex(src, layout.frames);
+            layout.indexed = true;
+            if (crc_trailer) {
+                layout.crc = util::readLE<uint32_t>(src);
+                layout.has_crc = true;
+            }
+            break;
+        }
+        if (scan == FrameScan::EndOfData)
+            break; // tolerated, like the decoders; shortfall reported
+                   // against the INFO count downstream
+        src.skip(entry.comp_size); // payload untouched — this is a scan
+        pos += util::varintLen(entry.raw_size + 1) +
+               util::varintLen(entry.comp_size) + entry.comp_size;
+        raw += entry.raw_size;
+        layout.frames.push_back(entry);
+        layout.raw_starts.push_back(raw);
+        layout.comp_starts.push_back(pos);
+    }
+    return layout;
+}
+
+void
+readIndexedFramePayload(util::ByteSource &src, const StreamLayout &layout,
+                        size_t f, std::vector<uint8_t> &comp)
+{
+    ATC_ASSERT(f < layout.frames.size());
+    FrameIndexEntry entry;
+    FrameScan scan = readSeekableFrameHeader(src, entry);
+    ATC_CHECK(scan == FrameScan::Frame &&
+                  entry.raw_size == layout.frames[f].raw_size &&
+                  entry.comp_size == layout.frames[f].comp_size,
+              "frame header disagrees with the scanned index "
+              "(container modified while indexed?)");
+    comp.resize(static_cast<size_t>(entry.comp_size));
+    src.readExact(comp.data(), comp.size());
 }
 
 StreamCompressor::StreamCompressor(const Codec &codec, util::ByteSink &sink,

@@ -104,6 +104,64 @@ void decodeSeekableFrame(const Codec &codec, const uint8_t *comp,
 void readFrameIndex(util::ByteSource &src,
                     const std::vector<FrameIndexEntry> &seen);
 
+/**
+ * The complete layout of one Seekable stream, built by scanning its
+ * frame headers without decoding any payload. This is what random
+ * access keys off: raw_starts supports a binary search from a
+ * decompressed byte offset to the frame containing it, comp_starts
+ * gives the in-stream byte position to skip() to.
+ */
+struct StreamLayout
+{
+    /** Per-frame sizes, identical to the end-of-stream index. */
+    std::vector<FrameIndexEntry> frames;
+    /** Cumulative decompressed offsets; frames.size() + 1 entries,
+     *  raw_starts[f] = first decompressed byte served by frame f. */
+    std::vector<uint64_t> raw_starts;
+    /** In-stream byte offset of each frame's *header*;
+     *  frames.size() + 1 entries (last = offset of the terminator). */
+    std::vector<uint64_t> comp_starts;
+    /** True when the terminator + frame index were present (a clean
+     *  end-of-data before them leaves this false — a truncated but
+     *  tolerated stream; readers report the shortfall downstream). */
+    bool indexed = false;
+    /** CRC-32 trailer, valid when @ref has_crc. */
+    uint32_t crc = 0;
+    bool has_crc = false;
+
+    /** @return total decompressed bytes across all frames. */
+    uint64_t rawTotal() const { return raw_starts.back(); }
+
+    /**
+     * @return the frame whose decompressed extent contains @p raw_off.
+     * @p raw_off must be < rawTotal().
+     */
+    size_t frameContaining(uint64_t raw_off) const;
+};
+
+/**
+ * Scan a Seekable stream's frame headers from @p src (positioned at
+ * the first frame), skipping every payload, and validate the stored
+ * end-of-stream index against the headers actually seen. When
+ * @p crc_trailer is set the trailing CRC-32 is captured too.
+ * @throws util::Error on corrupt headers, a truncated payload or any
+ *         header/index disagreement
+ */
+StreamLayout scanSeekableStream(util::ByteSource &src, bool crc_trailer);
+
+/**
+ * Read frame @p f's compressed payload from @p src — which must be
+ * positioned at that frame's header (layout.comp_starts[f]) — into
+ * @p comp, re-validating the header against the scanned @p layout.
+ * The one frame-fetch used by every consumer of a StreamLayout (the
+ * cursor's mid-stream pipelines and the parallel scanner), so they
+ * all reject a stream that changed since the scan identically.
+ * @throws util::Error on truncation or any header/layout disagreement
+ */
+void readIndexedFramePayload(util::ByteSource &src,
+                             const StreamLayout &layout, size_t f,
+                             std::vector<uint8_t> &comp);
+
 /** Accumulates bytes and emits codec frames into a sink. */
 class StreamCompressor : public util::ByteSink
 {

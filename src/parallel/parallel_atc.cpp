@@ -270,7 +270,7 @@ ParallelAtcWriter::lossyStats() const
 
 ParallelAtcReader::ParallelAtcReader(core::ChunkStore &store,
                                      const ParallelOptions &popt)
-    : store_(&store), info_(core::readContainerInfo(store)),
+    : index_(core::AtcIndex::openOrThrow(store)), store_(&store),
       lookahead_(resolveLookahead(popt)),
       pool_(std::make_unique<ThreadPool>(
           popt.threads, std::max<size_t>(lookahead_, 1)))
@@ -280,15 +280,22 @@ ParallelAtcReader::ParallelAtcReader(core::ChunkStore &store,
 
 ParallelAtcReader::ParallelAtcReader(const std::string &dir,
                                      const ParallelOptions &popt)
-    : owned_store_(std::make_unique<core::DirectoryStore>(
-          dir, core::detectContainerSuffix(dir))),
-      store_(owned_store_.get()),
-      info_(core::readContainerInfo(*owned_store_)),
-      lookahead_(resolveLookahead(popt)),
+    : index_(core::AtcIndex::openOrThrow(
+          std::make_unique<core::DirectoryStore>(
+              dir, core::detectContainerSuffix(dir)))),
+      store_(&index_->store()), lookahead_(resolveLookahead(popt)),
       pool_(std::make_unique<ThreadPool>(
           popt.threads, std::max<size_t>(lookahead_, 1)))
 {
     start();
+}
+
+std::unique_ptr<core::AtcCursor>
+ParallelAtcReader::cursor() const
+{
+    core::CursorOptions copt;
+    copt.pool = pool_.get();
+    return index_->cursor(copt);
 }
 
 util::StatusOr<std::unique_ptr<ParallelAtcReader>>
@@ -391,8 +398,14 @@ ParallelAtcReader::startSeekableLossless()
         std::max<size_t>(lookahead_, 1));
     auto source = std::make_unique<DecodedFrameSource>(*this);
     transform_dec_ = std::make_unique<core::TransformDecoder>(
-        info_.pipeline.transform, *source);
+        info().pipeline.transform, *source);
     frame_source_ = std::move(source);
+    // The index captured (and validated) the end-of-stream frame
+    // index and CRC trailer at open, so the scanner never has to read
+    // past the last frame.
+    const comp::StreamLayout *layout = index_->chunkLayout(0);
+    if (layout != nullptr && layout->has_crc)
+        stored_crc_ = layout->crc;
     // A dedicated scanner thread (not a pool worker): it blocks on
     // decode-task futures and channel pushes, so parking it in the
     // pool could starve the decoders it feeds.
@@ -403,30 +416,19 @@ void
 ParallelAtcReader::scanFrames()
 {
     try {
+        // Thin driver over the shared index: walk the scanned layout,
+        // re-reading each header only as a cheap cross-check that the
+        // stream still matches the snapshot.
+        const comp::StreamLayout &layout = *index_->chunkLayout(0);
         auto src = store_->openChunk(0);
-        comp::ConfiguredCodec codec = comp::makeCodec(info_.pipeline.codec);
-        std::vector<comp::FrameIndexEntry> seen;
-        for (;;) {
-            comp::FrameIndexEntry entry;
-            comp::FrameScan scan =
-                comp::readSeekableFrameHeader(*src, entry);
-            if (scan != comp::FrameScan::Frame) {
-                if (scan == comp::FrameScan::Terminator) {
-                    comp::readFrameIndex(*src, seen);
-                    if (info_.pipeline.crc_trailer)
-                        stored_crc_ = util::readLE<uint32_t>(*src);
-                }
-                // Clean EndOfData: tolerated by the framing; the
-                // trailing count/CRC checks report what is missing.
-                break;
-            }
-            std::vector<uint8_t> comp_bytes(
-                static_cast<size_t>(entry.comp_size));
-            src->readExact(comp_bytes.data(), comp_bytes.size());
-            seen.push_back(entry);
+        comp::ConfiguredCodec codec = comp::makeCodec(info().pipeline.codec);
+        for (size_t f = 0; f < layout.frames.size(); ++f) {
+            std::vector<uint8_t> comp_bytes;
+            comp::readIndexedFramePayload(*src, layout, f, comp_bytes);
 
             std::shared_ptr<const comp::Codec> c = codec.codec;
-            size_t raw_size = static_cast<size_t>(entry.raw_size);
+            size_t raw_size =
+                static_cast<size_t>(layout.frames[f].raw_size);
             auto decoded =
                 pool_->async([c, raw_size,
                               comp_bytes = std::move(comp_bytes)]() {
@@ -450,8 +452,8 @@ ParallelAtcReader::scanFrames()
 void
 ParallelAtcReader::start()
 {
-    if (info_.mode == core::Mode::Lossless) {
-        if (info_.pipeline.frame_format == comp::FrameFormat::Seekable) {
+    if (info().mode == core::Mode::Lossless) {
+        if (info().pipeline.frame_format == comp::FrameFormat::Seekable) {
             startSeekableLossless();
             return;
         }
@@ -460,7 +462,7 @@ ParallelAtcReader::start()
         producer_ = pool_->async([this] {
             try {
                 auto src = store_->openChunk(0);
-                core::LosslessReader reader(info_.pipeline, *src);
+                core::LosslessReader reader(info().pipeline, *src);
                 std::vector<uint64_t> buf(kReadBatch);
                 for (;;) {
                     size_t got = reader.read(buf.data(), buf.size());
@@ -489,15 +491,15 @@ void
 ParallelAtcReader::scheduleAhead()
 {
     size_t end = std::min(record_idx_ + lookahead_ + 1,
-                          info_.records.size());
+                          info().records.size());
     for (size_t i = record_idx_; i < end; ++i) {
-        uint32_t id = info_.records[i].chunk_id;
+        uint32_t id = info().records[i].chunk_id;
         auto it = decodes_.find(id);
         if (it == decodes_.end()) {
             decodes_.emplace(
                 id, pool_->async([this, id]() -> ChunkPtr {
                             auto src = store_->openChunk(id);
-                            core::LosslessReader reader(info_.pipeline,
+                            core::LosslessReader reader(info().pipeline,
                                                         *src);
                             auto chunk = std::make_shared<
                                 std::vector<uint64_t>>();
@@ -532,10 +534,10 @@ ParallelAtcReader::loadChunk(uint32_t id)
 bool
 ParallelAtcReader::nextInterval()
 {
-    if (record_idx_ >= info_.records.size())
+    if (record_idx_ >= info().records.size())
         return false;
     scheduleAhead();
-    const core::IntervalRecord &rec = info_.records[record_idx_++];
+    const core::IntervalRecord &rec = info().records[record_idx_++];
     ChunkPtr chunk = loadChunk(rec.chunk_id);
     ATC_CHECK(chunk->size() == rec.length,
               "interval record length mismatch");
@@ -562,7 +564,7 @@ ParallelAtcReader::readSeekableLossless(uint64_t *out, size_t n)
         uint8_t extra;
         ATC_CHECK(frame_source_->read(&extra, 1) == 0,
                   "trailing data after the transform terminator");
-        if (info_.pipeline.crc_trailer) {
+        if (info().pipeline.crc_trailer) {
             auto &fs = static_cast<DecodedFrameSource &>(*frame_source_);
             ATC_CHECK(fs.crc() == stored_crc_,
                       "chunk payload CRC mismatch (corrupt container)");
@@ -631,14 +633,14 @@ ParallelAtcReader::readLossy(uint64_t *out, size_t n)
 size_t
 ParallelAtcReader::read(uint64_t *out, size_t n)
 {
-    size_t got = info_.mode == core::Mode::Lossless
+    size_t got = info().mode == core::Mode::Lossless
                      ? readLossless(out, n)
                      : readLossy(out, n);
     delivered_ += got;
     if (got == 0 && n > 0)
-        ATC_CHECK(delivered_ == info_.count,
+        ATC_CHECK(delivered_ == info().count,
                   "container truncated: INFO records " +
-                      std::to_string(info_.count) +
+                      std::to_string(info().count) +
                       " values but only " + std::to_string(delivered_) +
                       " could be decoded");
     return got;

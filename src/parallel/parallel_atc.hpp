@@ -16,16 +16,20 @@
  * kept in submission order and are reassembled in order into the
  * container, with a bounded in-flight window for backpressure.
  *
- * Reader: in lossy mode upcoming chunks are decoded ahead concurrently
- * (distinct chunks only; imitated intervals reuse the decoded chunk).
- * In lossless mode the path depends on the container version: v3's
- * seekable framing gets true block-parallel decode — a scanner thread
- * walks the frame headers and dispatches compressed frames to the
- * pool, with ordered reassembly and the CRC trailer verified across
- * the reassembled stream — while v1/v2 fall back to a single
- * background decoder pipelining batches through a bounded channel.
- * Abandoning either side mid-stream never deadlocks: destruction
- * closes the channels, which unblocks every worker.
+ * Reader: opens a shared core::AtcIndex snapshot (INFO + per-chunk v3
+ * frame layouts) and drives everything off it. In lossy mode upcoming
+ * chunks are decoded ahead concurrently (distinct chunks only;
+ * imitated intervals reuse the decoded chunk). In lossless mode the
+ * path depends on the container version: v3's seekable framing gets
+ * true block-parallel decode — a scanner thread walks the indexed
+ * frames and dispatches compressed payloads to the pool, with ordered
+ * reassembly and the CRC trailer verified across the reassembled
+ * stream — while v1/v2 fall back to a single background decoder
+ * pipelining batches through a bounded channel. cursor() mints
+ * seekable random-access cursors whose readRange() fans frame decodes
+ * out on the same pool. Abandoning either side mid-stream never
+ * deadlocks: destruction closes the channels, which unblocks every
+ * worker.
  */
 
 #ifndef ATC_PARALLEL_PARALLEL_ATC_HPP_
@@ -197,16 +201,33 @@ class ParallelAtcReader : public trace::TraceSource
     util::StatusOr<size_t> tryRead(uint64_t *out, size_t n);
 
     /** @return the container's compression mode. */
-    core::Mode mode() const { return info_.mode; }
+    core::Mode mode() const { return index_->mode(); }
 
     /** @return the codec spec recorded in INFO. */
-    const std::string &codecSpec() const { return info_.codec_spec; }
+    const std::string &codecSpec() const
+    {
+        return index_->info().codec_spec;
+    }
 
     /** @return total values in the trace, from INFO. */
-    uint64_t count() const { return info_.count; }
+    uint64_t count() const { return index_->size(); }
 
     /** @return the container format version recorded in INFO. */
-    uint8_t containerVersion() const { return info_.version; }
+    uint8_t containerVersion() const { return index_->version(); }
+
+    /** @return the shared seek-metadata snapshot of this container. */
+    const std::shared_ptr<const core::AtcIndex> &index() const
+    {
+        return index_;
+    }
+
+    /**
+     * Mint an independent seekable cursor wired to this reader's
+     * thread pool, so readRange() decodes the covering frames in
+     * parallel. The cursor shares the immutable index but must not
+     * outlive this reader (it borrows the pool).
+     */
+    std::unique_ptr<core::AtcCursor> cursor() const;
 
   private:
     friend class DecodedFrameSource;
@@ -223,11 +244,16 @@ class ParallelAtcReader : public trace::TraceSource
     size_t readSeekableLossless(uint64_t *out, size_t n);
     size_t readLossy(uint64_t *out, size_t n);
 
-    std::unique_ptr<core::ChunkStore> owned_store_;
+    /** Shared seek-metadata snapshot; also the scanner's frame map.
+     *  Owns the store for directory-opened readers, so index() and
+     *  cursors survive the reader itself. */
+    std::shared_ptr<const core::AtcIndex> index_;
     core::ChunkStore *store_;
-    core::ContainerInfo info_;
     size_t lookahead_;
     uint64_t delivered_ = 0;
+
+    /** @return the parsed INFO held by the index. */
+    const core::ContainerInfo &info() const { return index_->info(); }
 
     // Lossless mode, legacy framing (v1/v2): one background decoder
     // feeding a bounded channel — frames cannot be located without

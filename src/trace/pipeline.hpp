@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "trace/generators.hpp"
+#include "util/status.hpp"
 
 namespace atc::trace {
 
@@ -55,6 +56,46 @@ class TraceSource
 
     /** Produce a single record. @return false at end of trace. */
     bool get(uint64_t *out) { return read(out, 1) == 1; }
+};
+
+/**
+ * A seekable batch producer: a TraceSource over a trace of known
+ * length that can reposition in O(log n) instead of decoding from the
+ * start. Implementations (e.g. core::AtcCursor) are cheap to create,
+ * so a consumer that wants several independent read positions opens
+ * several cursors rather than multiplexing one.
+ *
+ * Thread-safety contract: one cursor is confined to one thread, but
+ * any number of cursors over the same underlying container may be
+ * used concurrently.
+ */
+class TraceCursor : public TraceSource
+{
+  public:
+    /**
+     * Reposition so the next read() starts at record @p record_index
+     * (0-based; seeking to size() positions at end of trace). Lossy
+     * containers land on the nearest containing interval boundary at
+     * or before the request — check tell() for the actual position.
+     * @return error (mentioning "out of range") past end of trace
+     */
+    virtual util::Status seek(uint64_t record_index) = 0;
+
+    /** @return the record index the next read() will produce. */
+    virtual uint64_t tell() const = 0;
+
+    /** @return total records in the trace. */
+    virtual uint64_t size() const = 0;
+
+    /**
+     * Decode exactly the records [@p begin, @p end) into @p out,
+     * independent of — and without disturbing — the cursor's seek
+     * position. Unlike seek(), the extraction is record-exact in every
+     * mode (lossy intervals are sliced). Bad ranges (begin > end or
+     * end > size()) and decode failures come back as a Status.
+     */
+    virtual util::Status readRange(uint64_t begin, uint64_t end,
+                                   std::vector<uint64_t> &out) = 0;
 };
 
 /**

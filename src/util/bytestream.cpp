@@ -2,6 +2,21 @@
 
 namespace atc::util {
 
+void
+ByteSource::skip(uint64_t n)
+{
+    uint8_t scratch[16 * 1024];
+    while (n > 0) {
+        size_t want = n < sizeof(scratch)
+                          ? static_cast<size_t>(n)
+                          : sizeof(scratch);
+        size_t got = read(scratch, want);
+        if (got == 0)
+            raise("byte source truncated");
+        n -= got;
+    }
+}
+
 FileSink::FileSink(const std::string &path)
 {
     fp_ = std::fopen(path.c_str(), "wb");
@@ -58,6 +73,35 @@ FileSource::read(uint8_t *data, size_t n)
 {
     ATC_ASSERT(fp_ != nullptr);
     return std::fread(data, 1, n, fp_);
+}
+
+void
+FileSource::skip(uint64_t n)
+{
+    ATC_ASSERT(fp_ != nullptr);
+    if (n == 0)
+        return;
+    // fseek happily lands past end-of-file; bound the target against
+    // the file size so a skip past the end reports truncation exactly
+    // like the read-and-discard default.
+    if (size_ < 0) {
+        long pos = std::ftell(fp_);
+        if (pos >= 0 && std::fseek(fp_, 0, SEEK_END) == 0) {
+            size_ = std::ftell(fp_);
+            if (std::fseek(fp_, pos, SEEK_SET) != 0)
+                raise("file seek failed");
+        }
+    }
+    long pos = std::ftell(fp_);
+    if (size_ < 0 || pos < 0) {
+        // Unseekable stream (pipe): fall back to read-and-discard.
+        ByteSource::skip(n);
+        return;
+    }
+    if (n > static_cast<uint64_t>(size_ - pos))
+        raise("byte source truncated");
+    if (std::fseek(fp_, static_cast<long>(n), SEEK_CUR) != 0)
+        raise("file seek failed");
 }
 
 void

@@ -65,6 +65,14 @@ class ByteSource
             got += r;
         }
     }
+
+    /**
+     * Discard exactly @p n bytes or throw Error on truncation. The
+     * default reads into a scratch buffer; seekable sources (files,
+     * memory) override it with O(1) repositioning — the primitive that
+     * lets an index scan walk frame headers without touching payloads.
+     */
+    virtual void skip(uint64_t n);
 };
 
 /** Sink that appends to an in-memory vector. */
@@ -105,6 +113,14 @@ class MemorySource : public ByteSource
             std::memcpy(data, data_ + pos_, take);
         pos_ += take;
         return take;
+    }
+
+    void
+    skip(uint64_t n) override
+    {
+        if (n > size_ - pos_)
+            raise("byte source truncated");
+        pos_ += static_cast<size_t>(n);
     }
 
     /** @return bytes not yet consumed. */
@@ -154,8 +170,13 @@ class FileSource : public ByteSource
 
     size_t read(uint8_t *data, size_t n) override;
 
+    /** O(1) via fseek; throws Error when @p n runs past end of file. */
+    void skip(uint64_t n) override;
+
   private:
     std::FILE *fp_ = nullptr;
+    /** File size, computed lazily on the first skip(); -1 = unknown. */
+    int64_t size_ = -1;
 };
 
 /** Counting sink that discards data but tracks its size. */
@@ -193,6 +214,18 @@ readLE(ByteSource &src)
     for (size_t i = 0; i < sizeof(T); ++i)
         value |= static_cast<T>(buf[i]) << (8 * i);
     return value;
+}
+
+/** @return the encoded size of @p value as an unsigned LEB128 varint. */
+inline size_t
+varintLen(uint64_t value)
+{
+    size_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
 }
 
 /** Append an unsigned LEB128 varint. */
