@@ -22,7 +22,7 @@ import json
 import os
 import sys
 
-GATED_MODES = ("lossy_decompress", "lossless_decompress")
+GATED_MODES = ("lossy_decompress", "lossless_decompress", "seek_hot")
 
 
 def best_throughput(results, mode):
@@ -95,6 +95,20 @@ def main():
                      % (mode, new,
                         "%.3f" % old if old else "–",
                         ratio_txt, speedup, verdict))
+
+    # A gated mode that the baseline knows but the fresh run lacks means
+    # the bench crashed or silently dropped the mode — that must fail
+    # the gate, not print "n/a" and pass.
+    baseline_modes = {r["mode"] for r in baseline.get("results", [])}
+    for mode in GATED_MODES:
+        if mode in baseline_modes and mode not in modes:
+            failures.append(
+                "%s: gated mode present in baseline but absent from the "
+                "fresh bench run (bench crashed or dropped the mode?)"
+                % mode)
+            lines.append("| %s | MISSING | %.3f | – | – | FAIL |"
+                         % (mode,
+                            best_throughput(baseline["results"], mode)))
 
     lines.append("")
     if failures:

@@ -12,8 +12,10 @@
  * The random-access rows exercise the AtcIndex/AtcCursor API on the
  * lossless v3 container: `random_seek` measures seek + short-read
  * latency at scattered offsets (reported as records/s over the reads;
- * dominated by the containing-frame decode, so it should stay flat
- * across thread counts), and `ranged_decode` measures readRange()
+ * first-touch cost is the containing-frame decode, repeats hit the
+ * index's shared decoded-block cache), `seek_hot` revisits a small
+ * cache-resident working set (steady state decodes nothing — the
+ * shared-cache headline), and `ranged_decode` measures readRange()
  * throughput over scattered 5% slices with the frame decodes fanned
  * out on the pool (this one should scale).
  *
@@ -122,7 +124,8 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     double base_lossy = 0, base_lossless = 0, base_read = 0;
-    double base_lossless_read = 0, base_seek = 0, base_ranged = 0;
+    double base_lossless_read = 0, base_seek = 0, base_hot = 0;
+    double base_ranged = 0;
     core::MemoryStore reference; // first thread count's lossy container
     core::MemoryStore lossless_ref; // ... and its lossless sibling
 
@@ -243,6 +246,35 @@ main(int argc, char **argv)
                         static_cast<double>(kSeeks * kSeekRead) / s / 1e6,
                         base_seek / s});
 
+        // Hot-seek latency: revisit a small working set of offsets
+        // whose covering frames fit the index's shared decoded-block
+        // cache — after the first round every seek should decode
+        // nothing (asserted by test via the decode-counting codec) and
+        // the number reflects pure locate+copy cost.
+        constexpr size_t kHotOffsets = 8;
+        constexpr size_t kHotRounds = 12;
+        uint64_t hot[kHotOffsets];
+        for (size_t i = 0; i < kHotOffsets; ++i)
+            hot[i] = rng.below(n - kSeekRead);
+        t0 = Clock::now();
+        for (size_t round = 0; round < kHotRounds; ++round) {
+            for (size_t i = 0; i < kHotOffsets; ++i) {
+                if (!cursor->seek(hot[i]).ok() ||
+                    cursor->read(buf.data(), kSeekRead) != kSeekRead) {
+                    std::fprintf(stderr, "FATAL: hot-seek sweep failed\n");
+                    return 1;
+                }
+            }
+        }
+        s = seconds(t0, Clock::now());
+        if (base_hot == 0)
+            base_hot = s;
+        rows.push_back(
+            {"seek_hot", t, s,
+             static_cast<double>(kHotRounds * kHotOffsets * kSeekRead) /
+                 s / 1e6,
+             base_hot / s});
+
         // Ranged decode: scattered 5% slices through readRange().
         constexpr size_t kRanges = 8;
         uint64_t slice = n / 20;
@@ -269,8 +301,9 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "  %zu thread(s): lossy %.2fs, lossless %.2fs, "
                      "decode %.2fs, lossless decode %.2fs, "
-                     "seek %.2fs, ranged %.2fs\n",
-                     t, rows[rows.size() - 6].secs,
+                     "seek %.2fs, hot seek %.2fs, ranged %.2fs\n",
+                     t, rows[rows.size() - 7].secs,
+                     rows[rows.size() - 6].secs,
                      rows[rows.size() - 5].secs,
                      rows[rows.size() - 4].secs,
                      rows[rows.size() - 3].secs,

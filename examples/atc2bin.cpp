@@ -19,10 +19,14 @@
  *         decode fans out on the thread pool). May repeat; ranges must
  *         be in increasing order and non-overlapping. Malformed,
  *         overlapping or out-of-range specs are rejected up front.
+ *   --cache BYTES[k|m|g]
+ *         budget of the shared decoded-block cache backing seeks and
+ *         ranges (default 256m, 0 disables); repeated --range specs
+ *         over one working set decode each covering frame/chunk once
  *
  * Example (paper Figure 8):
  *   atc2bin -j 4 foobar | wc -c
- *   atc2bin --range 10000000:11000000 foobar > slice.bin
+ *   atc2bin --cache 128m --range 10000000:11000000 foobar > slice.bin
  */
 
 #include <cstdio>
@@ -64,6 +68,26 @@ parseRange(const char *spec, std::pair<uint64_t, uint64_t> &out)
     return atc::util::Status();
 }
 
+/** Parse a byte count with an optional k/m/g binary suffix. */
+bool
+parseSize(const char *text, size_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text)
+        return false;
+    switch (*end) {
+    case 'k': v <<= 10; ++end; break;
+    case 'm': v <<= 20; ++end; break;
+    case 'g': v <<= 30; ++end; break;
+    default: break;
+    }
+    if (*end != '\0')
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
 } // namespace
 
 int
@@ -72,6 +96,7 @@ main(int argc, char **argv)
     using namespace atc;
 
     size_t threads = 1;
+    size_t cache_bytes = core::kDefaultDecodedCacheBytes;
     long expect_version = 0; // 0 = accept any
     std::vector<std::pair<uint64_t, uint64_t>> ranges;
     const char *dir = nullptr;
@@ -109,6 +134,9 @@ main(int argc, char **argv)
                 }
                 ranges.push_back(range);
             }
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            if (i + 1 >= argc || !parseSize(argv[++i], cache_bytes))
+                bad_args = true;
         } else if (std::strcmp(argv[i], "--container-version") == 0) {
             if (i + 1 >= argc) {
                 bad_args = true;
@@ -131,6 +159,7 @@ main(int argc, char **argv)
     if (dir == nullptr || bad_args) {
         std::fprintf(stderr,
                      "usage: %s [-j N] [--container-version V] "
+                     "[--cache BYTES[k|m|g]] "
                      "[--range BEGIN:END]... <dirname>\n",
                      argv[0]);
         return 2;
@@ -141,7 +170,9 @@ main(int argc, char **argv)
         // streaming reader — that would start decoding the whole
         // trace in the background) and run one readRange per spec.
         // Out-of-range specs come back as a Status from the cursor.
-        auto index = core::AtcIndex::open(dir);
+        core::IndexOptions iopt;
+        iopt.cache_bytes = cache_bytes;
+        auto index = core::AtcIndex::open(dir, iopt);
         if (!index.ok()) {
             std::fprintf(stderr, "error: %s\n",
                          index.status().message().c_str());
@@ -185,6 +216,7 @@ main(int argc, char **argv)
     if (threads > 1) {
         parallel::ParallelOptions popt;
         popt.threads = threads;
+        popt.cache_bytes = cache_bytes;
         auto opened = parallel::ParallelAtcReader::open(dir, popt);
         if (!opened.ok()) {
             std::fprintf(stderr, "error: %s\n",
@@ -193,7 +225,7 @@ main(int argc, char **argv)
         }
         par = opened.take();
     } else {
-        auto opened = core::AtcReader::open(dir);
+        auto opened = core::AtcReader::open(dir, cache_bytes);
         if (!opened.ok()) {
             std::fprintf(stderr, "error: %s\n",
                          opened.status().message().c_str());

@@ -127,52 +127,55 @@ AtcWriter::tryClose()
 
 namespace {
 
-CursorOptions
-cursorOptions(size_t decoder_cache)
+IndexOptions
+indexOptions(size_t cache_bytes)
 {
-    CursorOptions copt;
-    copt.decoder_cache = decoder_cache;
-    return copt;
+    IndexOptions iopt;
+    iopt.cache_bytes = cache_bytes;
+    return iopt;
 }
 
 } // namespace
 
-AtcReader::AtcReader(ChunkStore &store, size_t decoder_cache)
-    : index_(AtcIndex::openOrThrow(store)),
-      cursor_(index_->cursor(cursorOptions(decoder_cache)))
+AtcReader::AtcReader(ChunkStore &store, size_t cache_bytes)
+    : index_(AtcIndex::openOrThrow(store, indexOptions(cache_bytes))),
+      cursor_(index_->cursor())
 {
 }
 
-AtcReader::AtcReader(const std::string &dir, size_t decoder_cache)
-    : index_(AtcIndex::openOrThrow(std::make_unique<DirectoryStore>(
-          dir, detectContainerSuffix(dir)))),
-      cursor_(index_->cursor(cursorOptions(decoder_cache)))
+AtcReader::AtcReader(const std::string &dir, size_t cache_bytes)
+    : index_(AtcIndex::openOrThrow(
+          std::make_unique<DirectoryStore>(dir,
+                                           detectContainerSuffix(dir)),
+          indexOptions(cache_bytes))),
+      cursor_(index_->cursor())
 {
 }
 
 AtcReader::AtcReader(const std::string &dir, const std::string &suffix,
-                     size_t decoder_cache)
+                     size_t cache_bytes)
     : index_(AtcIndex::openOrThrow(
-          std::make_unique<DirectoryStore>(dir, suffix))),
-      cursor_(index_->cursor(cursorOptions(decoder_cache)))
+          std::make_unique<DirectoryStore>(dir, suffix),
+          indexOptions(cache_bytes))),
+      cursor_(index_->cursor())
 {
 }
 
 util::StatusOr<std::unique_ptr<AtcReader>>
-AtcReader::open(ChunkStore &store, size_t decoder_cache)
+AtcReader::open(ChunkStore &store, size_t cache_bytes)
 {
     try {
-        return std::make_unique<AtcReader>(store, decoder_cache);
+        return std::make_unique<AtcReader>(store, cache_bytes);
     } catch (const util::Error &e) {
         return util::Status::error(e.what());
     }
 }
 
 util::StatusOr<std::unique_ptr<AtcReader>>
-AtcReader::open(const std::string &dir, size_t decoder_cache)
+AtcReader::open(const std::string &dir, size_t cache_bytes)
 {
     try {
-        return std::make_unique<AtcReader>(dir, decoder_cache);
+        return std::make_unique<AtcReader>(dir, cache_bytes);
     } catch (const util::Error &e) {
         return util::Status::error(e.what());
     }

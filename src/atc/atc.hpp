@@ -153,10 +153,13 @@ class AtcReader : public trace::TraceSource
      *        holding the reader's index() or cursors minted from it
      *        (directory-opened readers have no such caveat: their
      *        index owns the store)
-     * @param decoder_cache decompressed chunks cached in lossy mode
+     * @param cache_bytes budget of the index's shared decoded-block
+     *        cache (decoded frames in lossless v3, decompressed chunks
+     *        in lossy mode; 0 disables it) — see IndexOptions
      * @throws util::Error on missing/corrupt INFO
      */
-    explicit AtcReader(ChunkStore &store, size_t decoder_cache = 8);
+    explicit AtcReader(ChunkStore &store,
+                       size_t cache_bytes = kDefaultDecodedCacheBytes);
 
     /**
      * Read from a directory container, auto-detecting the chunk-file
@@ -165,22 +168,25 @@ class AtcReader : public trace::TraceSource
      * results stay valid after the reader is gone.
      * @throws util::Error when no INFO file is found or INFO is corrupt
      */
-    explicit AtcReader(const std::string &dir, size_t decoder_cache = 8);
+    explicit AtcReader(const std::string &dir,
+                       size_t cache_bytes = kDefaultDecodedCacheBytes);
 
     /**
      * Read from a directory container with an explicit suffix (only
      * needed when several containers share one directory).
      */
     AtcReader(const std::string &dir, const std::string &suffix,
-              size_t decoder_cache = 8);
+              size_t cache_bytes = kDefaultDecodedCacheBytes);
 
     /** Non-throwing constructor wrapper. */
     static util::StatusOr<std::unique_ptr<AtcReader>> open(
-        ChunkStore &store, size_t decoder_cache = 8);
+        ChunkStore &store,
+        size_t cache_bytes = kDefaultDecodedCacheBytes);
 
     /** Non-throwing constructor wrapper (directory, auto-detect). */
     static util::StatusOr<std::unique_ptr<AtcReader>> open(
-        const std::string &dir, size_t decoder_cache = 8);
+        const std::string &dir,
+        size_t cache_bytes = kDefaultDecodedCacheBytes);
 
     ~AtcReader() override;
 

@@ -32,17 +32,19 @@ expectedRawBytes(uint64_t count, uint64_t buffer_addrs)
 
 /**
  * Serves the decompressed bytes of frames [first, frames.size()) of a
- * scanned Seekable stream, one frame at a time, validating each header
- * against the layout captured at open. @p src must be positioned at
- * frame @p first's header (comp_starts[first]).
+ * scanned Seekable stream, one frame at a time, through the index's
+ * shared decoded-frame cache: a cached frame is served without
+ * touching its payload (the underlying source just skips it), a miss
+ * decodes-and-inserts, so a working set of seek targets stays
+ * decode-free across every cursor sharing the index. @p src must be
+ * positioned at frame @p first's header (comp_starts[first]).
  */
 class FrameStreamSource : public util::ByteSource
 {
   public:
-    FrameStreamSource(const comp::Codec &codec,
-                      const comp::StreamLayout &layout,
+    FrameStreamSource(const AtcIndex &index, uint32_t chunk_id,
                       std::unique_ptr<util::ByteSource> src, size_t first)
-        : codec_(codec), layout_(layout), src_(std::move(src)),
+        : index_(index), chunk_id_(chunk_id), src_(std::move(src)),
           next_(first)
     {}
 
@@ -51,14 +53,14 @@ class FrameStreamSource : public util::ByteSource
     {
         size_t got = 0;
         while (got < n) {
-            if (pos_ == block_.size()) {
+            if (!block_ || pos_ == block_->size()) {
                 if (!refill())
                     break;
                 continue;
             }
-            size_t avail = block_.size() - pos_;
+            size_t avail = block_->size() - pos_;
             size_t take = (n - got) < avail ? (n - got) : avail;
-            std::memcpy(data + got, block_.data() + pos_, take);
+            std::memcpy(data + got, block_->data() + pos_, take);
             got += take;
             pos_ += take;
         }
@@ -69,23 +71,19 @@ class FrameStreamSource : public util::ByteSource
     bool
     refill()
     {
-        if (next_ >= layout_.frames.size())
+        if (next_ >= index_.chunkLayout(chunk_id_)->frames.size())
             return false;
-        comp::readIndexedFramePayload(*src_, layout_, next_, comp_buf_);
-        comp::decodeSeekableFrame(
-            codec_, comp_buf_.data(), comp_buf_.size(),
-            static_cast<size_t>(layout_.frames[next_].raw_size), block_);
+        block_ = index_.decodedFrame(chunk_id_, next_, *src_);
         ++next_;
         pos_ = 0;
         return true;
     }
 
-    const comp::Codec &codec_;
-    const comp::StreamLayout &layout_;
+    const AtcIndex &index_;
+    uint32_t chunk_id_;
     std::unique_ptr<util::ByteSource> src_;
     size_t next_;
-    std::vector<uint8_t> block_;
-    std::vector<uint8_t> comp_buf_;
+    BlockCache<uint8_t>::Ptr block_;
     size_t pos_ = 0;
 };
 
@@ -131,10 +129,29 @@ fillRecords(ReadFn &&read, std::vector<uint64_t> &out, const char *what)
 
 } // namespace
 
-AtcIndex::AtcIndex(ChunkStore &store) : store_(&store) {}
+namespace {
 
-AtcIndex::AtcIndex(std::unique_ptr<ChunkStore> owned)
-    : owned_store_(std::move(owned)), store_(owned_store_.get())
+/** Frames are many and small (a codec block each) — shard for
+ *  concurrency; chunks are few and large (interval_len * 8 bytes) and
+ *  touched once per interval switch — a single shard avoids budget
+ *  fragmentation entirely and makes the readRange prefetch planner's
+ *  whole-budget arithmetic exact. */
+constexpr size_t kFrameCacheShards = 8;
+constexpr size_t kChunkCacheShards = 1;
+
+} // namespace
+
+AtcIndex::AtcIndex(ChunkStore &store, const IndexOptions &iopt)
+    : store_(&store), frame_cache_(iopt.cache_bytes, kFrameCacheShards),
+      chunk_cache_(iopt.cache_bytes, kChunkCacheShards)
+{
+}
+
+AtcIndex::AtcIndex(std::unique_ptr<ChunkStore> owned,
+                   const IndexOptions &iopt)
+    : owned_store_(std::move(owned)), store_(owned_store_.get()),
+      frame_cache_(iopt.cache_bytes, kFrameCacheShards),
+      chunk_cache_(iopt.cache_bytes, kChunkCacheShards)
 {
 }
 
@@ -142,6 +159,7 @@ void
 AtcIndex::load()
 {
     info_ = readContainerInfo(*store_);
+    codec_ = comp::makeCodec(info_.pipeline.codec);
 
     if (info_.mode == Mode::Lossy) {
         record_starts_.reserve(info_.records.size() + 1);
@@ -195,54 +213,54 @@ AtcIndex::load()
 }
 
 util::StatusOr<std::shared_ptr<const AtcIndex>>
-AtcIndex::open(ChunkStore &store)
+AtcIndex::open(ChunkStore &store, const IndexOptions &iopt)
 {
     try {
-        return openOrThrow(store);
+        return openOrThrow(store, iopt);
     } catch (const util::Error &e) {
         return util::Status::error(e.what());
     }
 }
 
 util::StatusOr<std::shared_ptr<const AtcIndex>>
-AtcIndex::open(const std::string &dir)
+AtcIndex::open(const std::string &dir, const IndexOptions &iopt)
 {
     try {
         auto store = std::make_unique<DirectoryStore>(
             dir, detectContainerSuffix(dir));
-        std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
-        index->load();
-        return std::shared_ptr<const AtcIndex>(std::move(index));
+        return std::shared_ptr<const AtcIndex>(
+            openOrThrow(std::move(store), iopt));
     } catch (const util::Error &e) {
         return util::Status::error(e.what());
     }
 }
 
 util::StatusOr<std::shared_ptr<const AtcIndex>>
-AtcIndex::open(const std::string &dir, const std::string &suffix)
+AtcIndex::open(const std::string &dir, const std::string &suffix,
+               const IndexOptions &iopt)
 {
     try {
         auto store = std::make_unique<DirectoryStore>(dir, suffix);
-        std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
-        index->load();
-        return std::shared_ptr<const AtcIndex>(std::move(index));
+        return std::shared_ptr<const AtcIndex>(
+            openOrThrow(std::move(store), iopt));
     } catch (const util::Error &e) {
         return util::Status::error(e.what());
     }
 }
 
 std::shared_ptr<const AtcIndex>
-AtcIndex::openOrThrow(ChunkStore &store)
+AtcIndex::openOrThrow(ChunkStore &store, const IndexOptions &iopt)
 {
-    std::shared_ptr<AtcIndex> index(new AtcIndex(store));
+    std::shared_ptr<AtcIndex> index(new AtcIndex(store, iopt));
     index->load();
     return index;
 }
 
 std::shared_ptr<const AtcIndex>
-AtcIndex::openOrThrow(std::unique_ptr<ChunkStore> store)
+AtcIndex::openOrThrow(std::unique_ptr<ChunkStore> store,
+                      const IndexOptions &iopt)
 {
-    std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store)));
+    std::shared_ptr<AtcIndex> index(new AtcIndex(std::move(store), iopt));
     index->load();
     return index;
 }
@@ -278,6 +296,21 @@ AtcIndex::chunkLayout(uint32_t id) const
     return &layouts_[id];
 }
 
+BlockCache<uint8_t>::Ptr
+AtcIndex::decodedFrame(uint32_t chunk_id, size_t f,
+                       util::ByteSource &src) const
+{
+    const comp::StreamLayout &layout = layouts_[chunk_id];
+    ATC_ASSERT(f < layout.frames.size());
+    uint64_t key = BlockCache<uint8_t>::frameKey(chunk_id, f);
+    if (BlockCache<uint8_t>::Ptr hit = frame_cache_.get(key)) {
+        src.skip(layout.comp_starts[f + 1] - layout.comp_starts[f]);
+        return hit;
+    }
+    return frame_cache_.put(
+        key, comp::decodeIndexedFrame(*codec_.codec, src, layout, f));
+}
+
 uint64_t
 AtcIndex::bufferOf(uint64_t rec) const
 {
@@ -305,16 +338,17 @@ AtcCursor::AtcCursor(std::shared_ptr<const AtcIndex> index,
 {
     const ContainerInfo &info = index_->info();
     if (info.mode == Mode::Lossless) {
-        codec_ = comp::makeCodec(info.pipeline.codec);
         resetSequential();
     } else {
         LossyParams params;
         params.chunk_params = info.pipeline;
-        params.decoder_cache = copt.decoder_cache;
         params.interval_len = info.interval_len;
         params.epsilon = info.epsilon;
+        // All cursors over one index decode chunks through the shared
+        // cache, so a working set warmed by any of them serves all.
         lossy_ = std::make_unique<LossyDecoder>(params, index_->store(),
-                                                &info.records);
+                                                &info.records,
+                                                &index_->chunkCache());
     }
 }
 
@@ -423,7 +457,7 @@ AtcCursor::seekLossless(uint64_t rec)
     auto src = index_->store().openChunk(0);
     src->skip(layout.comp_starts[f]);
     auto frames = std::make_unique<FrameStreamSource>(
-        *codec_.codec, layout, std::move(src), f);
+        *index_, 0, std::move(src), f);
     // Discard the tail of the frame that precedes the buffer start,
     // then the records that precede the target inside its buffer.
     frames->skip(raw_off - layout.raw_starts[f]);
@@ -470,43 +504,69 @@ AtcCursor::decodeFrames(size_t first, size_t last)
     const comp::StreamLayout &layout = *index_->chunkLayout(0);
     auto src = index_->store().openChunk(0);
     src->skip(layout.comp_starts[first]);
+
+    // Every frame resolves through the shared cache: hits are served
+    // in place (payload skipped), misses decode — on the pool when one
+    // is borrowed — and are inserted so the next range or seek over
+    // the same region decodes nothing.
     std::vector<uint8_t> out;
     out.reserve(static_cast<size_t>(layout.raw_starts[last + 1] -
                                     layout.raw_starts[first]));
-
     if (pool_ == nullptr) {
-        std::vector<uint8_t> comp, block;
+        // Serial: append frame by frame; a block is released as soon
+        // as it is copied out, so peak memory stays out + one frame
+        // (plus whatever the cache itself retains, which is bounded).
         for (size_t f = first; f <= last; ++f) {
-            comp::readIndexedFramePayload(*src, layout, f, comp);
-            comp::decodeSeekableFrame(
-                *codec_.codec, comp.data(), comp.size(),
-                static_cast<size_t>(layout.frames[f].raw_size), block);
-            out.insert(out.end(), block.begin(), block.end());
+            BlockCache<uint8_t>::Ptr block =
+                index_->decodedFrame(0, f, *src);
+            out.insert(out.end(), block->begin(), block->end());
         }
         return out;
     }
-
-    // Fan the dominant cost — per-frame codec decode — out to the
-    // pool; the compressed bytes are read serially (cheap) and the
-    // futures resolve in submission order for in-order reassembly.
-    std::shared_ptr<const comp::Codec> codec = codec_.codec;
-    std::deque<std::future<std::vector<uint8_t>>> pending;
-    for (size_t f = first; f <= last; ++f) {
-        std::vector<uint8_t> comp;
-        comp::readIndexedFramePayload(*src, layout, f, comp);
-        size_t raw_size = static_cast<size_t>(layout.frames[f].raw_size);
-        pending.push_back(
-            pool_->async([codec, raw_size, comp = std::move(comp)]() {
-                std::vector<uint8_t> block;
-                comp::decodeSeekableFrame(*codec, comp.data(),
-                                          comp.size(), raw_size, block);
-                return block;
-            }));
+    std::vector<BlockCache<uint8_t>::Ptr> blocks(last - first + 1);
+    {
+        // Fan only the misses out: the compressed bytes are read
+        // serially (cheap), the per-frame codec decode — the dominant
+        // cost — runs in the pool, and the futures resolve in
+        // submission order for in-order reassembly.
+        struct Pending
+        {
+            size_t slot;
+            uint64_t key;
+            std::future<std::vector<uint8_t>> decoded;
+        };
+        BlockCache<uint8_t> &cache = index_->frameCache();
+        std::shared_ptr<const comp::Codec> codec = index_->codec().codec;
+        std::deque<Pending> pending;
+        for (size_t f = first; f <= last; ++f) {
+            uint64_t key = BlockCache<uint8_t>::frameKey(0, f);
+            if (BlockCache<uint8_t>::Ptr hit = cache.get(key)) {
+                src->skip(layout.comp_starts[f + 1] -
+                          layout.comp_starts[f]);
+                blocks[f - first] = std::move(hit);
+                continue;
+            }
+            std::vector<uint8_t> comp;
+            comp::readIndexedFramePayload(*src, layout, f, comp);
+            size_t raw_size =
+                static_cast<size_t>(layout.frames[f].raw_size);
+            pending.push_back(
+                {f - first, key,
+                 pool_->async([codec, raw_size,
+                               comp = std::move(comp)]() {
+                     std::vector<uint8_t> block;
+                     comp::decodeSeekableFrame(*codec, comp.data(),
+                                               comp.size(), raw_size,
+                                               block);
+                     return block;
+                 })});
+        }
+        for (Pending &p : pending)
+            blocks[p.slot] = cache.put(p.key, p.decoded.get());
     }
-    while (!pending.empty()) {
-        std::vector<uint8_t> block = pending.front().get();
-        pending.pop_front();
-        out.insert(out.end(), block.begin(), block.end());
+    for (BlockCache<uint8_t>::Ptr &block : blocks) {
+        out.insert(out.end(), block->begin(), block->end());
+        block.reset(); // release as copied — bound peak memory
     }
     return out;
 }
@@ -560,13 +620,94 @@ AtcCursor::rangeLossless(uint64_t begin, uint64_t end,
 }
 
 void
+AtcCursor::prefetchLossyChunks(uint64_t begin, uint64_t end)
+{
+    // Decode the distinct covering chunks the shared cache is missing
+    // on the pool, mirroring the lossless pooled-frame path: chunk
+    // payloads are independent, so only the insertion is serialized.
+    // Skipped without a pool or with the cache disabled (nowhere to
+    // publish a decode the assembly loop could reuse).
+    if (pool_ == nullptr || !index_->chunkCache().enabled())
+        return;
+    const std::vector<uint64_t> &starts = index_->recordStarts();
+    const std::vector<IntervalRecord> &records = index_->info().records;
+    size_t i0 = recordContaining(starts, begin);
+    size_t i1 = recordContaining(starts, end - 1);
+
+    // Plan only as many distinct missing chunks as the cache can
+    // retain: a chunk the budget cannot hold would be decoded on the
+    // pool, dropped unstored by put(), and decoded a second time by
+    // the assembly loop — worse than no prefetch. Whatever is skipped
+    // here simply decodes on demand, exactly once. The planning is
+    // exact because the chunk cache is single-shard (planned inserts
+    // go to the LRU front, so they evict stale residents, never each
+    // other) and an interval's length equals its chunk's decoded
+    // length (validated on read).
+    BlockCache<uint64_t> &cache = index_->chunkCache();
+    std::vector<uint32_t> ids, counted;
+    uint64_t budget = cache.capacityBytes();
+    uint64_t planned = 0;
+    for (size_t i = i0; i <= i1; ++i) {
+        uint32_t id = records[i].chunk_id;
+        if (std::find(counted.begin(), counted.end(), id) !=
+            counted.end())
+            continue;
+        uint64_t bytes = records[i].length * sizeof(uint64_t);
+        if (cache.get(id) != nullptr) {
+            // Already-resident covering chunk: the get() refreshed it
+            // to the LRU front, and counting it against the budget
+            // keeps planned inserts from evicting it mid-assembly.
+            counted.push_back(id);
+            planned += bytes;
+            continue;
+        }
+        if (planned + bytes > budget)
+            continue;
+        counted.push_back(id);
+        ids.push_back(id);
+        planned += bytes;
+    }
+
+    struct Pending
+    {
+        uint32_t id;
+        std::future<std::vector<uint64_t>> decoded;
+    };
+    std::deque<Pending> pending;
+    ChunkStore *store = &index_->store();
+    for (uint32_t id : ids)
+        pending.push_back(
+            {id, pool_->async([store, id,
+                               params = index_->info().pipeline]() {
+                 return decodeChunkPayload(params, *store, id);
+             })});
+    // Drain every future even when one decode fails: the tasks borrow
+    // the store through a raw pointer, and an abandoned future would
+    // leave a queued task free to run after the index — and the store
+    // it may own — is gone.
+    std::exception_ptr error;
+    for (Pending &p : pending) {
+        try {
+            cache.put(p.id, p.decoded.get());
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
 AtcCursor::rangeLossy(uint64_t begin, uint64_t end,
                       std::vector<uint64_t> &out)
 {
     // Unlike seek(), extraction is record-exact: decode the intervals
     // covering the range (whole chunks — the lossy unit of decode) and
-    // slice. The cursor's decoder does the work so its chunk cache is
-    // shared; its position is restored afterwards.
+    // slice. The covering chunks are pool-decoded into the shared
+    // cache first, so the cursor's decoder below mostly assembles from
+    // cache hits; its position is restored afterwards.
+    prefetchLossyChunks(begin, end);
     const std::vector<uint64_t> &starts = index_->recordStarts();
     uint64_t save = pos_;
 

@@ -25,7 +25,9 @@
  *  - AtcIndex: immutable, share freely (its ChunkStore must stay
  *    readable and unmodified for the index's lifetime, and openChunk()
  *    must be callable concurrently — DirectoryStore and MemoryStore
- *    both qualify).
+ *    both qualify). The attached decoded-block cache (BlockCache) is
+ *    internally synchronized mutable state and shared along with the
+ *    index; see IndexOptions::cache_bytes.
  *  - AtcCursor: confined to one thread at a time; concurrent use of
  *    *different* cursors over one AtcIndex is supported and tested.
  *  - A cursor keeps its AtcIndex alive (shared ownership) but only
@@ -40,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "atc/block_cache.hpp"
 #include "atc/container.hpp"
 #include "atc/info.hpp"
 #include "atc/lossless.hpp"
@@ -60,11 +63,21 @@ class AtcCursor;
 struct CursorOptions
 {
     /** Borrowed pool; when set, readRange() fans the decode of the
-     *  covering frames out to it (lossless v3 only). Must outlive the
-     *  cursor. */
+     *  covering frames (lossless v3) or covering chunks (lossy) out
+     *  to it. Must outlive the cursor. */
     parallel::ThreadPool *pool = nullptr;
-    /** Decompressed chunks cached by lossy-mode cursors. */
-    size_t decoder_cache = 8;
+};
+
+/** Knobs of the snapshot built by AtcIndex::open(). */
+struct IndexOptions
+{
+    /** Budget of the shared decoded-block cache, in bytes (0 disables
+     *  it). Lossless v3 indexes cache decoded codec frames keyed by
+     *  (chunk, frame); lossy indexes cache decoded chunks keyed by
+     *  chunk id. Every cursor minted from the index reads through the
+     *  same cache, so repeated seeks into a cache-resident working set
+     *  decode nothing. */
+    size_t cache_bytes = kDefaultDecodedCacheBytes;
 };
 
 /** Immutable, shareable snapshot of a container's seek metadata. */
@@ -78,18 +91,20 @@ class AtcIndex : public std::enable_shared_from_this<AtcIndex>
      * never decoded, so open cost is I/O over headers only.
      */
     static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
-        ChunkStore &store);
+        ChunkStore &store, const IndexOptions &iopt = {});
 
     /** Open a directory container, auto-detecting the suffix. */
     static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
-        const std::string &dir);
+        const std::string &dir, const IndexOptions &iopt = {});
 
     /** Open a directory container with an explicit suffix. */
     static util::StatusOr<std::shared_ptr<const AtcIndex>> open(
-        const std::string &dir, const std::string &suffix);
+        const std::string &dir, const std::string &suffix,
+        const IndexOptions &iopt = {});
 
     /** Throwing variant of open() for internal callers. */
-    static std::shared_ptr<const AtcIndex> openOrThrow(ChunkStore &store);
+    static std::shared_ptr<const AtcIndex> openOrThrow(
+        ChunkStore &store, const IndexOptions &iopt = {});
 
     /**
      * Throwing open() that takes ownership of @p store, making the
@@ -97,7 +112,7 @@ class AtcIndex : public std::enable_shared_from_this<AtcIndex>
      * this so their index() survives the reader itself.
      */
     static std::shared_ptr<const AtcIndex> openOrThrow(
-        std::unique_ptr<ChunkStore> store);
+        std::unique_ptr<ChunkStore> store, const IndexOptions &iopt = {});
 
     /**
      * Mint a new cursor positioned at record 0. Any number of cursors
@@ -145,6 +160,32 @@ class AtcIndex : public std::enable_shared_from_this<AtcIndex>
     /** @return the backing store. */
     ChunkStore &store() const { return *store_; }
 
+    /** @return the configured codec shared by every reader over this
+     *  container (codecs are stateless and thread-safe). */
+    const comp::ConfiguredCodec &codec() const { return codec_; }
+
+    // ---- shared decoded-block cache (see IndexOptions::cache_bytes).
+    // The caches are internally synchronized mutable state attached to
+    // the otherwise-immutable snapshot; sharing the index across
+    // threads shares them too.
+
+    /** @return the decoded-frame cache (lossless v3 cursors). */
+    BlockCache<uint8_t> &frameCache() const { return frame_cache_; }
+
+    /** @return the decoded-chunk cache (lossy cursors). */
+    BlockCache<uint64_t> &chunkCache() const { return chunk_cache_; }
+
+    /**
+     * Fetch the decoded bytes of frame @p f of chunk @p chunk_id
+     * through the shared cache: a hit skips the frame in @p src
+     * without touching its payload; a miss decodes through
+     * comp::decodeIndexedFrame and inserts the result. @p src must be
+     * positioned at the frame's header and is left just past the
+     * frame either way, so sequential callers stay aligned.
+     */
+    BlockCache<uint8_t>::Ptr decodedFrame(uint32_t chunk_id, size_t f,
+                                          util::ByteSource &src) const;
+
     // ---- lossless transform-buffer geometry (derived from INFO) ----
     // The raw (pre-codec) stream is a sequence of self-contained
     // transform buffers — varint(n) + 8n bytes each — of exactly
@@ -166,18 +207,23 @@ class AtcIndex : public std::enable_shared_from_this<AtcIndex>
   private:
     friend class AtcCursor;
 
-    explicit AtcIndex(ChunkStore &store);
-    AtcIndex(std::unique_ptr<ChunkStore> owned);
+    AtcIndex(ChunkStore &store, const IndexOptions &iopt);
+    AtcIndex(std::unique_ptr<ChunkStore> owned, const IndexOptions &iopt);
 
     void load();
 
     std::unique_ptr<ChunkStore> owned_store_;
     ChunkStore *store_;
     ContainerInfo info_;
+    comp::ConfiguredCodec codec_;
     /** v3 only: one scanned layout per chunk, indexed by chunk id. */
     std::vector<comp::StreamLayout> layouts_;
     /** Lossy only: record_starts_[i] = first record of interval i. */
     std::vector<uint64_t> record_starts_;
+    /** Only the mode-appropriate cache is ever populated; the other
+     *  stays an empty shell (see IndexOptions::cache_bytes). */
+    mutable BlockCache<uint8_t> frame_cache_;
+    mutable BlockCache<uint64_t> chunk_cache_;
 };
 
 /** Seekable reader over one AtcIndex; see the file comment. */
@@ -214,6 +260,7 @@ class AtcCursor : public trace::TraceCursor
                        std::vector<uint64_t> &out);
     void rangeLossy(uint64_t begin, uint64_t end,
                     std::vector<uint64_t> &out);
+    void prefetchLossyChunks(uint64_t begin, uint64_t end);
     std::vector<uint8_t> decodeFrames(size_t first, size_t last);
 
     std::shared_ptr<const AtcIndex> index_;
@@ -222,14 +269,15 @@ class AtcCursor : public trace::TraceCursor
 
     // Lossless state: either the sequential pipeline (LosslessReader,
     // CRC-verifying — active from construction and after seek(0)) or
-    // the mid-stream pipeline built by a v3 seek.
-    comp::ConfiguredCodec codec_;
+    // the mid-stream pipeline built by a v3 seek. The codec itself is
+    // the index's (shared, stateless).
     std::unique_ptr<util::ByteSource> chunk_src_;
     std::unique_ptr<LosslessReader> sequential_;
     std::unique_ptr<util::ByteSource> frame_src_;
     std::unique_ptr<TransformDecoder> transform_;
 
-    // Lossy state: shared interval trace, private chunk cache.
+    // Lossy state: shared interval trace, shared chunk cache (both
+    // owned by the index).
     std::unique_ptr<LossyDecoder> lossy_;
 };
 

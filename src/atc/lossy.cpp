@@ -116,16 +116,40 @@ LossyEncoder::finish()
     finished_ = true;
 }
 
+std::vector<uint64_t>
+decodeChunkPayload(const LosslessParams &params, ChunkStore &store,
+                   uint32_t id)
+{
+    auto src = store.openChunk(id);
+    LosslessReader reader(params, *src);
+    std::vector<uint64_t> addrs;
+    uint64_t buf[4096];
+    size_t got;
+    while ((got = reader.read(buf, 4096)) != 0)
+        addrs.insert(addrs.end(), buf, buf + got);
+    return addrs;
+}
+
 LossyDecoder::LossyDecoder(const LossyParams &params, ChunkStore &store,
-                           std::vector<IntervalRecord> records)
+                           std::vector<IntervalRecord> records,
+                           ChunkCache *cache)
     : params_(params), store_(store), owned_records_(std::move(records)),
-      records_(&owned_records_)
+      records_(&owned_records_),
+      owned_cache_(cache == nullptr ? std::make_unique<ChunkCache>(
+                                          params.decoder_cache_bytes)
+                                    : nullptr),
+      cache_(cache == nullptr ? owned_cache_.get() : cache)
 {
 }
 
 LossyDecoder::LossyDecoder(const LossyParams &params, ChunkStore &store,
-                           const std::vector<IntervalRecord> *records)
-    : params_(params), store_(store), records_(records)
+                           const std::vector<IntervalRecord> *records,
+                           ChunkCache *cache)
+    : params_(params), store_(store), records_(records),
+      owned_cache_(cache == nullptr ? std::make_unique<ChunkCache>(
+                                          params.decoder_cache_bytes)
+                                    : nullptr),
+      cache_(cache == nullptr ? owned_cache_.get() : cache)
 {
     ATC_ASSERT(records_ != nullptr);
 }
@@ -142,29 +166,17 @@ LossyDecoder::seekRecord(size_t record_idx)
 const std::vector<uint64_t> &
 LossyDecoder::loadChunk(uint32_t id)
 {
-    auto it = cache_.find(id);
-    if (it != cache_.end()) {
-        // Refresh LRU position.
-        lru_.remove(id);
-        lru_.push_front(id);
-        return it->second;
-    }
-
-    auto src = store_.openChunk(id);
-    LosslessReader reader(params_.chunk_params, *src);
-    std::vector<uint64_t> addrs;
-    uint64_t buf[4096];
-    size_t got;
-    while ((got = reader.read(buf, 4096)) != 0)
-        addrs.insert(addrs.end(), buf, buf + got);
-
-    if (cache_.size() >= std::max<size_t>(params_.decoder_cache, 1)) {
-        uint32_t victim = lru_.back();
-        lru_.pop_back();
-        cache_.erase(victim);
-    }
-    lru_.push_front(id);
-    return cache_.emplace(id, std::move(addrs)).first->second;
+    // Consecutive intervals frequently imitate one chunk; serving the
+    // pinned pointer skips even the cache's shard lock.
+    if (current_chunk_ && current_id_ == id)
+        return *current_chunk_;
+    ChunkCache::Ptr chunk = cache_->get(id);
+    if (!chunk)
+        chunk = cache_->put(
+            id, decodeChunkPayload(params_.chunk_params, store_, id));
+    current_chunk_ = std::move(chunk);
+    current_id_ = id;
+    return *current_chunk_;
 }
 
 bool

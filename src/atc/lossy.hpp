@@ -13,7 +13,9 @@
  * The encoder produces chunks (into a ChunkStore) and an interval
  * record list; INFO serialization lives with the top-level AtcWriter.
  * The decoder regenerates the address stream from chunks + records,
- * caching decompressed chunks.
+ * reading decompressed chunks through a BlockCache — either a shared
+ * one (an AtcIndex's, so every cursor over the container reuses one
+ * working set) or a private instance.
  */
 
 #ifndef ATC_ATC_LOSSY_HPP_
@@ -22,11 +24,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "atc/block_cache.hpp"
 #include "atc/container.hpp"
 #include "atc/histogram.hpp"
 #include "atc/lossless.hpp"
@@ -44,8 +45,12 @@ struct LossyParams
     size_t chunk_table = 256;
     /** Disable to reproduce Figure 4's ablation. */
     bool translate = true;
-    /** Decompressed chunks kept by the decoder. */
-    size_t decoder_cache = 8;
+    /** Byte budget of the decoder's decompressed-chunk cache (used
+     *  only when the decoder owns its cache — decoders sharing an
+     *  AtcIndex cache ignore it). Bytes-bounded, not chunk-counted:
+     *  at paper scale one chunk is interval_len * 8 = 80 MB, so a
+     *  count-based knob made the footprint workload-dependent. */
+    size_t decoder_cache_bytes = kDefaultDecodedCacheBytes;
     /** Per-chunk lossless pipeline (paper: bytesort, B = 1M). */
     LosslessParams chunk_params;
 };
@@ -132,18 +137,37 @@ class LossyEncoder
     bool finished_ = false;
 };
 
+/**
+ * Decompress chunk @p id of @p store in full through the per-chunk
+ * lossless pipeline of @p params. The one whole-chunk decode used by
+ * every lossy consumer (LossyDecoder, the cursor's pooled readRange
+ * prefetch, the parallel reader), so they reject corrupt chunks
+ * identically. Thread-safe for concurrent calls (openChunk must be —
+ * see ChunkStore).
+ */
+std::vector<uint64_t> decodeChunkPayload(const LosslessParams &params,
+                                         ChunkStore &store, uint32_t id);
+
 /** Streaming regenerator for lossy traces. */
 class LossyDecoder
 {
   public:
+    /** Cache of decompressed chunks, keyed by chunk id. */
+    using ChunkCache = BlockCache<uint64_t>;
+
     /**
      * @param params  parameters used at encode time (chunk pipeline,
-     *                decoder cache size)
+     *                decoder cache budget)
      * @param store   chunk source (must outlive the decoder)
      * @param records interval trace parsed from INFO
+     * @param cache   shared decompressed-chunk cache (e.g. an
+     *                AtcIndex's; must outlive the decoder); when null
+     *                the decoder owns a private cache bounded by
+     *                params.decoder_cache_bytes
      */
     LossyDecoder(const LossyParams &params, ChunkStore &store,
-                 std::vector<IntervalRecord> records);
+                 std::vector<IntervalRecord> records,
+                 ChunkCache *cache = nullptr);
 
     /**
      * Borrowing variant for shared, read-only interval traces (e.g.
@@ -152,7 +176,8 @@ class LossyDecoder
      * cursors sharing one index must not copy the trace per cursor.
      */
     LossyDecoder(const LossyParams &params, ChunkStore &store,
-                 const std::vector<IntervalRecord> *records);
+                 const std::vector<IntervalRecord> *records,
+                 ChunkCache *cache = nullptr);
 
     // records_ may point at the sibling owned_records_, so the
     // compiler-generated copy/move would leave the copy dangling.
@@ -183,7 +208,8 @@ class LossyDecoder
     const std::vector<IntervalRecord> &records() const { return *records_; }
 
   private:
-    /** Load (or fetch cached) decompressed chunk @p id. */
+    /** Load (through the cache) decompressed chunk @p id; the result
+     *  stays pinned in current_chunk_ until the next load. */
     const std::vector<uint64_t> &loadChunk(uint32_t id);
     bool nextInterval();
 
@@ -193,9 +219,14 @@ class LossyDecoder
     const std::vector<IntervalRecord> *records_;
     size_t record_idx_ = 0;
 
-    // LRU cache of decompressed chunks.
-    std::unordered_map<uint32_t, std::vector<uint64_t>> cache_;
-    std::list<uint32_t> lru_; // front = most recent
+    // Decompressed-chunk cache: the shared one when provided, else an
+    // owned private instance. current_chunk_ pins the active chunk so
+    // eviction (by this decoder or a sibling sharing the cache) never
+    // pulls it out from under an in-flight interval.
+    std::unique_ptr<ChunkCache> owned_cache_;
+    ChunkCache *cache_;
+    ChunkCache::Ptr current_chunk_;
+    uint32_t current_id_ = 0;
 
     std::vector<uint64_t> interval_;
     size_t pos_ = 0;

@@ -208,6 +208,18 @@ readIndexedFramePayload(util::ByteSource &src, const StreamLayout &layout,
     src.readExact(comp.data(), comp.size());
 }
 
+std::vector<uint8_t>
+decodeIndexedFrame(const Codec &codec, util::ByteSource &src,
+                   const StreamLayout &layout, size_t f)
+{
+    std::vector<uint8_t> comp, out;
+    readIndexedFramePayload(src, layout, f, comp);
+    decodeSeekableFrame(codec, comp.data(), comp.size(),
+                        static_cast<size_t>(layout.frames[f].raw_size),
+                        out);
+    return out;
+}
+
 StreamCompressor::StreamCompressor(const Codec &codec, util::ByteSink &sink,
                                    size_t block_size, FrameFormat format)
     : codec_(codec), sink_(sink), block_size_(block_size), format_(format)

@@ -162,6 +162,22 @@ void readIndexedFramePayload(util::ByteSource &src,
                              const StreamLayout &layout, size_t f,
                              std::vector<uint8_t> &comp);
 
+/**
+ * Read and decode frame @p f of a scanned Seekable stream in one step
+ * (readIndexedFramePayload + decodeSeekableFrame). @p src must be
+ * positioned at the frame's header (layout.comp_starts[f]) and is left
+ * just past the frame. This is the serial frame-decode entry point the
+ * random-access paths funnel through — cursor seeks and the shared
+ * decoded-block cache fill — so every consumer rejects a stream that
+ * changed since the scan identically. (Pooled decoders split the two
+ * steps: payloads are read serially, decodeSeekableFrame runs on the
+ * pool.)
+ */
+std::vector<uint8_t> decodeIndexedFrame(const Codec &codec,
+                                        util::ByteSource &src,
+                                        const StreamLayout &layout,
+                                        size_t f);
+
 /** Accumulates bytes and emits codec frames into a sink. */
 class StreamCompressor : public util::ByteSink
 {

@@ -21,6 +21,14 @@ resolveLookahead(const ParallelOptions &popt)
     return 2 * resolveThreads(popt.threads);
 }
 
+core::IndexOptions
+indexOptions(const ParallelOptions &popt)
+{
+    core::IndexOptions iopt;
+    iopt.cache_bytes = popt.cache_bytes;
+    return iopt;
+}
+
 } // namespace
 
 /** ByteSink adapter routing transform output into the block slicer. */
@@ -270,8 +278,8 @@ ParallelAtcWriter::lossyStats() const
 
 ParallelAtcReader::ParallelAtcReader(core::ChunkStore &store,
                                      const ParallelOptions &popt)
-    : index_(core::AtcIndex::openOrThrow(store)), store_(&store),
-      lookahead_(resolveLookahead(popt)),
+    : index_(core::AtcIndex::openOrThrow(store, indexOptions(popt))),
+      store_(&store), lookahead_(resolveLookahead(popt)),
       pool_(std::make_unique<ThreadPool>(
           popt.threads, std::max<size_t>(lookahead_, 1)))
 {
@@ -282,7 +290,8 @@ ParallelAtcReader::ParallelAtcReader(const std::string &dir,
                                      const ParallelOptions &popt)
     : index_(core::AtcIndex::openOrThrow(
           std::make_unique<core::DirectoryStore>(
-              dir, core::detectContainerSuffix(dir)))),
+              dir, core::detectContainerSuffix(dir)),
+          indexOptions(popt))),
       store_(&index_->store()), lookahead_(resolveLookahead(popt)),
       pool_(std::make_unique<ThreadPool>(
           popt.threads, std::max<size_t>(lookahead_, 1)))
@@ -421,12 +430,25 @@ ParallelAtcReader::scanFrames()
         // stream still matches the snapshot.
         const comp::StreamLayout &layout = *index_->chunkLayout(0);
         auto src = store_->openChunk(0);
-        comp::ConfiguredCodec codec = comp::makeCodec(info().pipeline.codec);
+        core::BlockCache<uint8_t> &cache = index_->frameCache();
         for (size_t f = 0; f < layout.frames.size(); ++f) {
+            // Consult (but never populate — a full scan would churn
+            // the cursors' working set) the shared decoded-frame
+            // cache: a hit skips the payload and ships a ready future.
+            if (core::BlockCache<uint8_t>::Ptr hit = cache.get(
+                    core::BlockCache<uint8_t>::frameKey(0, f))) {
+                src->skip(layout.comp_starts[f + 1] -
+                          layout.comp_starts[f]);
+                std::promise<std::vector<uint8_t>> ready;
+                ready.set_value(std::vector<uint8_t>(*hit));
+                if (!frames_->push(ready.get_future()))
+                    return; // consumer abandoned the stream
+                continue;
+            }
             std::vector<uint8_t> comp_bytes;
             comp::readIndexedFramePayload(*src, layout, f, comp_bytes);
 
-            std::shared_ptr<const comp::Codec> c = codec.codec;
+            std::shared_ptr<const comp::Codec> c = index_->codec().codec;
             size_t raw_size =
                 static_cast<size_t>(layout.frames[f].raw_size);
             auto decoded =
@@ -496,20 +518,25 @@ ParallelAtcReader::scheduleAhead()
         uint32_t id = info().records[i].chunk_id;
         auto it = decodes_.find(id);
         if (it == decodes_.end()) {
-            decodes_.emplace(
-                id, pool_->async([this, id]() -> ChunkPtr {
-                            auto src = store_->openChunk(id);
-                            core::LosslessReader reader(info().pipeline,
-                                                        *src);
-                            auto chunk = std::make_shared<
-                                std::vector<uint64_t>>();
-                            uint64_t buf[4096];
-                            size_t got;
-                            while ((got = reader.read(buf, 4096)) != 0)
-                                chunk->insert(chunk->end(), buf,
-                                              buf + got);
-                            return chunk;
-                        }).share());
+            // Consult the shared decoded-chunk cache first (a cursor
+            // may have warmed it); like the lossless scanner, the
+            // sequential pass never populates it.
+            if (core::BlockCache<uint64_t>::Ptr hit =
+                    index_->chunkCache().get(id)) {
+                // ChunkPtr and the cache's Ptr are the same type, so
+                // the immutable block is shared, never copied.
+                std::promise<ChunkPtr> ready;
+                ready.set_value(std::move(hit));
+                decodes_.emplace(id, ready.get_future().share());
+            } else {
+                decodes_.emplace(
+                    id, pool_->async([this, id]() -> ChunkPtr {
+                                return std::make_shared<
+                                    std::vector<uint64_t>>(
+                                    core::decodeChunkPayload(
+                                        info().pipeline, *store_, id));
+                            }).share());
+            }
         }
         // Keep everything in the window at the recent end of the LRU so
         // eviction only ever hits chunks outside it.

@@ -1,6 +1,64 @@
 #include "util/bytestream.hpp"
 
+#include <limits>
+
 namespace atc::util {
+
+namespace {
+
+/**
+ * 64-bit-clean stdio positioning. fseek/ftell traffic in `long`, which
+ * is 32 bits on Windows and 32-bit Unix — a skip or size probe beyond
+ * 2 GiB silently truncated the offset. Route through the platform's
+ * 64-bit variants, and step SEEK_CUR advances in bounded increments so
+ * even a 32-bit off_t build cannot overflow a single relative seek.
+ */
+int64_t
+tell64(std::FILE *fp)
+{
+#if defined(_WIN32)
+    return _ftelli64(fp);
+#else
+    return static_cast<int64_t>(ftello(fp));
+#endif
+}
+
+int
+seekSet64(std::FILE *fp, int64_t pos)
+{
+#if defined(_WIN32)
+    return _fseeki64(fp, pos, SEEK_SET);
+#else
+    return fseeko(fp, static_cast<off_t>(pos), SEEK_SET);
+#endif
+}
+
+int
+seekCur64(std::FILE *fp, uint64_t n)
+{
+#if defined(_WIN32)
+    constexpr uint64_t kStep = std::numeric_limits<int64_t>::max();
+#else
+    constexpr uint64_t kStep =
+        sizeof(off_t) >= 8
+            ? static_cast<uint64_t>(std::numeric_limits<int64_t>::max())
+            : static_cast<uint64_t>(std::numeric_limits<int32_t>::max());
+#endif
+    while (n > 0) {
+        uint64_t step = n < kStep ? n : kStep;
+#if defined(_WIN32)
+        if (_fseeki64(fp, static_cast<int64_t>(step), SEEK_CUR) != 0)
+            return -1;
+#else
+        if (fseeko(fp, static_cast<off_t>(step), SEEK_CUR) != 0)
+            return -1;
+#endif
+        n -= step;
+    }
+    return 0;
+}
+
+} // namespace
 
 void
 ByteSource::skip(uint64_t n)
@@ -81,18 +139,18 @@ FileSource::skip(uint64_t n)
     ATC_ASSERT(fp_ != nullptr);
     if (n == 0)
         return;
-    // fseek happily lands past end-of-file; bound the target against
+    // Seeking happily lands past end-of-file; bound the target against
     // the file size so a skip past the end reports truncation exactly
     // like the read-and-discard default.
     if (size_ < 0) {
-        long pos = std::ftell(fp_);
+        int64_t pos = tell64(fp_);
         if (pos >= 0 && std::fseek(fp_, 0, SEEK_END) == 0) {
-            size_ = std::ftell(fp_);
-            if (std::fseek(fp_, pos, SEEK_SET) != 0)
+            size_ = tell64(fp_);
+            if (seekSet64(fp_, pos) != 0)
                 raise("file seek failed");
         }
     }
-    long pos = std::ftell(fp_);
+    int64_t pos = tell64(fp_);
     if (size_ < 0 || pos < 0) {
         // Unseekable stream (pipe): fall back to read-and-discard.
         ByteSource::skip(n);
@@ -100,7 +158,7 @@ FileSource::skip(uint64_t n)
     }
     if (n > static_cast<uint64_t>(size_ - pos))
         raise("byte source truncated");
-    if (std::fseek(fp_, static_cast<long>(n), SEEK_CUR) != 0)
+    if (seekCur64(fp_, n) != 0)
         raise("file seek failed");
 }
 

@@ -8,11 +8,18 @@
  * codec proving that a v3 readRange decodes only the frames covering
  * the slice (and that opening an index decodes nothing), corrupt-index
  * rejection at open, and N threads sharing one AtcIndex through
- * private cursors (the TSan target).
+ * private cursors (the TSan target). The shared decoded-block cache
+ * suite proves results are budget-independent (disabled/tiny/large),
+ * that repeated seeks into a cache-resident working set decode zero
+ * frames, that eviction races under a starved budget stay coherent
+ * (TSan again), and that a pooled lossy readRange fans covering-chunk
+ * decodes onto worker threads while staying record-exact.
  */
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -255,7 +262,8 @@ TEST(LossySeek, ReadRangeIsRecordExactAndPositionPreserving)
 
 // --------------------------------------------- decode-counting codec
 
-/** "store" wrapper counting decompressBlock calls process-wide. */
+/** "store" wrapper counting decompressBlock calls process-wide, and
+ *  recording which threads ran them (proof of pool fan-out). */
 class CountingCodec : public comp::Codec
 {
   public:
@@ -273,14 +281,40 @@ class CountingCodec : public comp::Codec
                     std::vector<uint8_t> &out) const override
     {
         ++decodes;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            threads.insert(std::this_thread::get_id());
+        }
         out.resize(raw_size);
         in.readExact(out.data(), out.size());
     }
 
+    static void
+    resetThreads()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        threads.clear();
+    }
+
+    /** @return true when any decode ran off the calling thread. */
+    static bool
+    decodedOffThread()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const std::thread::id &id : threads)
+            if (id != std::this_thread::get_id())
+                return true;
+        return false;
+    }
+
     static std::atomic<uint64_t> decodes;
+    static std::mutex mu;
+    static std::set<std::thread::id> threads;
 };
 
 std::atomic<uint64_t> CountingCodec::decodes{0};
+std::mutex CountingCodec::mu;
+std::set<std::thread::id> CountingCodec::threads;
 
 void
 registerCountingCodec()
@@ -433,23 +467,21 @@ class SharedIndex : public testing::TestWithParam<core::Mode>
 {
 };
 
-TEST_P(SharedIndex, ManyThreadsManyCursorsOneIndex)
+/**
+ * Hammer one shared index from @p kThreads threads — each with its own
+ * cursor and offsets, seeks, streaming reads and ranged reads
+ * interleaved — and return how many threads saw a wrong byte or a
+ * failed call.
+ */
+int
+stressCursors(const std::shared_ptr<const core::AtcIndex> &index,
+              const std::vector<uint64_t> &ref)
 {
-    auto trace = makeTrace(40'000, 28);
-    auto store = writeContainer(trace, makeOptions(GetParam()));
-    auto ref = reference(store);
-
-    auto opened = core::AtcIndex::open(store);
-    ASSERT_TRUE(opened.ok()) << opened.status().message();
-    std::shared_ptr<const core::AtcIndex> index = opened.value();
-
     constexpr int kThreads = 8;
     std::atomic<int> failures{0};
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
         threads.emplace_back([&, t] {
-            // Each thread: its own cursor, its own offsets — seeks,
-            // streaming reads and ranged reads interleaved.
             auto cursor = index->cursor();
             util::Rng rng(1000 + static_cast<uint64_t>(t));
             std::vector<uint64_t> out;
@@ -490,12 +522,142 @@ TEST_P(SharedIndex, ManyThreadsManyCursorsOneIndex)
     }
     for (auto &th : threads)
         th.join();
-    EXPECT_EQ(failures.load(), 0);
+    return failures.load();
+}
+
+TEST_P(SharedIndex, ManyThreadsManyCursorsOneIndex)
+{
+    auto trace = makeTrace(40'000, 28);
+    auto store = writeContainer(trace, makeOptions(GetParam()));
+    auto ref = reference(store);
+
+    auto opened = core::AtcIndex::open(store);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    EXPECT_EQ(stressCursors(opened.value(), ref), 0);
+}
+
+TEST_P(SharedIndex, TinyCacheEvictionRacesStayCoherent)
+{
+    // A near-zero budget keeps the shared cache under constant
+    // eviction pressure while 8 threads insert and hit concurrently —
+    // the TSan target for the cache itself, and a liveness check that
+    // eviction never yanks a block out from under a reader.
+    auto trace = makeTrace(40'000, 35);
+    auto opt = makeOptions(GetParam());
+    opt.lossy.epsilon = 0.0; // many distinct chunks -> shard collisions
+    auto store = writeContainer(trace, opt);
+    auto ref = reference(store);
+
+    // Big enough to retain individual blocks (frames are 4 KiB raw
+    // here, chunks 8 KB), far too small for the working set.
+    core::IndexOptions iopt;
+    iopt.cache_bytes = 16 * 1024;
+    auto opened = core::AtcIndex::open(store, iopt);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    EXPECT_EQ(stressCursors(opened.value(), ref), 0);
+    core::BlockCacheStats stats = GetParam() == core::Mode::Lossless
+                                      ? opened.value()->frameCache().stats()
+                                      : opened.value()->chunkCache().stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LE(stats.entries, 8u); // one pinned survivor per shard at most
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, SharedIndex,
                          testing::Values(core::Mode::Lossless,
                                          core::Mode::Lossy));
+
+// ------------------------------------------------- shared block cache
+
+class CacheBudget : public testing::TestWithParam<core::Mode>
+{
+};
+
+TEST_P(CacheBudget, ResultsIdenticalAcrossBudgets)
+{
+    // Disabled, pathologically tiny and comfortably large budgets must
+    // be observationally identical — the cache is a pure accelerator.
+    auto trace = makeTrace(20'000, 34);
+    auto store = writeContainer(trace, makeOptions(GetParam()));
+    auto ref = reference(store);
+
+    for (size_t cache_bytes :
+         {size_t(0), size_t(1), size_t(64) << 20}) {
+        core::IndexOptions iopt;
+        iopt.cache_bytes = cache_bytes;
+        auto opened = core::AtcIndex::open(store, iopt);
+        ASSERT_TRUE(opened.ok()) << opened.status().message();
+        auto index = opened.value();
+        EXPECT_EQ(index->frameCache().enabled(), cache_bytes != 0);
+        EXPECT_EQ(index->chunkCache().enabled(), cache_bytes != 0);
+
+        auto cursor = index->cursor();
+        util::Rng rng(77); // same access pattern for every budget
+        std::vector<uint64_t> out;
+        for (int round = 0; round < 16; ++round) {
+            uint64_t off = rng.below(ref.size());
+            ASSERT_TRUE(cursor->seek(off).ok()) << cache_bytes;
+            uint64_t landed = cursor->tell();
+            uint64_t buf[128];
+            size_t want = std::min<size_t>(
+                128, ref.size() - static_cast<size_t>(landed));
+            ASSERT_EQ(cursor->read(buf, want), want) << cache_bytes;
+            for (size_t i = 0; i < want; ++i)
+                ASSERT_EQ(buf[i], ref[static_cast<size_t>(landed) + i])
+                    << "budget " << cache_bytes << " offset " << off;
+            uint64_t b = rng.below(ref.size());
+            uint64_t e = std::min<uint64_t>(ref.size(),
+                                            b + 1 + rng.below(3000));
+            ASSERT_TRUE(cursor->readRange(b, e, out).ok()) << cache_bytes;
+            ASSERT_EQ(out.size(), e - b);
+            for (size_t i = 0; i < out.size(); ++i)
+                ASSERT_EQ(out[i], ref[static_cast<size_t>(b) + i])
+                    << "budget " << cache_bytes << " range " << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CacheBudget,
+                         testing::Values(core::Mode::Lossless,
+                                         core::Mode::Lossy));
+
+TEST(SeekHot, CacheResidentWorkingSetDecodesZeroFrames)
+{
+    registerCountingCodec();
+    auto trace = makeTrace(60'000, 30);
+    auto opt = makeOptions(core::Mode::Lossless, "countstore");
+    auto store = writeContainer(trace, opt);
+
+    auto opened = core::AtcIndex::open(store); // default budget
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    auto index = opened.value();
+    auto cursor = index->cursor();
+
+    // Warm: the first visit of each offset decodes its covering frames
+    // into the shared cache.
+    const uint64_t offsets[] = {777, 12'345, 23'456, 41'000, 59'000};
+    uint64_t buf[500];
+    for (uint64_t off : offsets) {
+        ASSERT_TRUE(cursor->seek(off).ok());
+        ASSERT_EQ(cursor->read(buf, 500), 500u);
+    }
+    ASSERT_GT(index->frameCache().stats().entries, 0u);
+
+    // Hot: the working set is cache-resident — repeated seeks decode
+    // zero frames, from this cursor and from a second cursor sharing
+    // the index (that is what "shared" buys).
+    auto cursor2 = index->cursor();
+    CountingCodec::decodes = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (uint64_t off : offsets) {
+            ASSERT_TRUE(cursor->seek(off).ok());
+            ASSERT_EQ(cursor->read(buf, 500), 500u);
+            ASSERT_TRUE(cursor2->seek(off).ok());
+            ASSERT_EQ(cursor2->read(buf, 500), 500u);
+        }
+    }
+    EXPECT_EQ(CountingCodec::decodes.load(), 0u);
+    EXPECT_GT(index->frameCache().stats().hits, 0u);
+}
 
 // ----------------------------------------- pooled readRange (parallel)
 
@@ -518,6 +680,52 @@ TEST(PooledRange, ParallelReaderCursorMatchesSerial)
 
     // The reader's own sequential stream is unaffected.
     EXPECT_EQ(trace::collect(reader), trace);
+}
+
+TEST(PooledRange, LossyRangeSpanningManyChunksUsesPoolStaysExact)
+{
+    registerCountingCodec();
+    auto trace = makeTrace(9'000, 33);
+    auto opt = makeOptions(core::Mode::Lossy, "countstore");
+    opt.lossy.epsilon = 0.0; // every interval becomes its own chunk
+    auto store = writeContainer(trace, opt);
+    auto ref = reference(store);
+
+    auto opened = core::AtcIndex::open(store);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    auto index = opened.value();
+    ASSERT_GE(index->info().chunk_count, 4u);
+
+    parallel::ThreadPool pool(4);
+    core::CursorOptions copt;
+    copt.pool = &pool;
+    auto pooled = index->cursor(copt);
+
+    // Cold: the distinct covering chunks decode on the pool (proved by
+    // the codec seeing worker threads), record-exactly.
+    CountingCodec::resetThreads();
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(pooled->readRange(500, 8'500, out).ok());
+    ASSERT_EQ(out.size(), 8'000u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], ref[500 + i]);
+    EXPECT_TRUE(CountingCodec::decodedOffThread());
+
+    // Warm: the covering chunks are cache-resident — nothing decodes.
+    uint64_t before = CountingCodec::decodes.load();
+    ASSERT_TRUE(pooled->readRange(500, 8'500, out).ok());
+    EXPECT_EQ(CountingCodec::decodes.load(), before);
+
+    // Parity against a serial, cache-disabled cursor over a fresh
+    // index — the pooled fan-out is a pure accelerator.
+    core::IndexOptions iopt;
+    iopt.cache_bytes = 0;
+    auto serial_idx = core::AtcIndex::open(store, iopt);
+    ASSERT_TRUE(serial_idx.ok());
+    auto serial = serial_idx.value()->cursor();
+    std::vector<uint64_t> serial_out;
+    ASSERT_TRUE(serial->readRange(500, 8'500, serial_out).ok());
+    EXPECT_EQ(out, serial_out);
 }
 
 } // namespace

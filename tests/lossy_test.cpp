@@ -279,9 +279,10 @@ TEST(Lossy, EpsilonZeroDisablesImitation)
 
 TEST(Lossy, DecoderCacheSmallerThanChunkCount)
 {
-    // Force chunk reloads through a 1-entry decode cache.
+    // Force chunk reloads: a 1-byte budget degenerates the decoder's
+    // private cache to one resident chunk per shard.
     auto params = testParams(512);
-    params.decoder_cache = 1;
+    params.decoder_cache_bytes = 1;
     std::vector<uint64_t> trace;
     util::Rng rng(10);
     for (int phase = 0; phase < 8; ++phase) {

@@ -98,6 +98,39 @@ TEST(FileIo, OpenMissingFileThrows)
     EXPECT_THROW(util::FileSource("/nonexistent/path/x.bin"), util::Error);
 }
 
+TEST(FileIo, SkipBeyondTwoGiB)
+{
+    // fseek(long) truncated skips >= 2 GiB where long is 32 bits; the
+    // skip must go through the platform's 64-bit positioning. A sparse
+    // file keeps the disk footprint at a few pages.
+    std::string path = testing::TempDir() + "/atc_util_sparse_test.bin";
+    constexpr uint64_t kFar = (uint64_t(2) << 30) + (uint64_t(1) << 29);
+    {
+        std::FILE *fp = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(fp, nullptr);
+        ASSERT_EQ(std::fputc('A', fp), 'A');
+#if defined(_WIN32)
+        ASSERT_EQ(_fseeki64(fp, static_cast<int64_t>(kFar), SEEK_SET), 0);
+#else
+        ASSERT_EQ(fseeko(fp, static_cast<off_t>(kFar), SEEK_SET), 0);
+#endif
+        ASSERT_EQ(std::fputc('Z', fp), 'Z');
+        std::fclose(fp);
+    }
+    {
+        util::FileSource src(path);
+        uint8_t b = 0;
+        ASSERT_EQ(src.read(&b, 1), 1u);
+        EXPECT_EQ(b, 'A');
+        src.skip(kFar - 1); // lands exactly on the far byte
+        ASSERT_EQ(src.read(&b, 1), 1u);
+        EXPECT_EQ(b, 'Z');
+        // And past-the-end skips still report truncation.
+        EXPECT_THROW(src.skip(1), util::Error);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(LittleEndian, FixedWidthRoundTrip)
 {
     std::vector<uint8_t> out;
