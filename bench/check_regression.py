@@ -22,7 +22,8 @@ import json
 import os
 import sys
 
-GATED_MODES = ("lossy_decompress", "lossless_decompress", "seek_hot")
+GATED_MODES = ("lossy_decompress", "lossless_decompress", "seek_hot",
+               "serve_latency")
 
 
 def best_throughput(results, mode):

@@ -19,6 +19,14 @@
  * throughput over scattered 5% slices with the frame decodes fanned
  * out on the pool (this one should scale).
  *
+ * `serve_latency` drives the whole serving stack: a TraceServer with
+ * the sweep's thread count as its worker pool, flooded by
+ * ATC_BENCH_SERVE_CLIENTS (default 64) concurrent TCP clients that
+ * alternate SEEK and READ_RANGE requests of 1000 records. The row
+ * reports aggregate served records/s plus per-request p50/p99 latency
+ * (extra JSON fields), and every served payload is audited
+ * byte-identical against a direct AtcCursor::readRange.
+ *
  * Usage: parallel_throughput [addresses] [threads-csv] [json-path]
  *   addresses   corpus length (default 2000000, scaled by
  *               ATC_BENCH_SCALE)
@@ -26,17 +34,22 @@
  *   json-path   output file (default parallel_throughput.json)
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "atc/index.hpp"
 #include "bench_common.hpp"
 #include "parallel/parallel_atc.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "trace/pipeline.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +89,9 @@ struct Row
     double secs;
     double maddrs;
     double speedup;
+    /** serve_latency only: per-request latency percentiles. */
+    double p50_ms = 0;
+    double p99_ms = 0;
 };
 
 } // namespace
@@ -125,7 +141,7 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     double base_lossy = 0, base_lossless = 0, base_read = 0;
     double base_lossless_read = 0, base_seek = 0, base_hot = 0;
-    double base_ranged = 0;
+    double base_ranged = 0, base_serve = 0;
     core::MemoryStore reference; // first thread count's lossy container
     core::MemoryStore lossless_ref; // ... and its lossless sibling
 
@@ -298,17 +314,137 @@ main(int argc, char **argv)
                         static_cast<double>(ranged_total) / s / 1e6,
                         base_ranged / s});
 
+        // Served random access: a TraceServer with t workers over the
+        // same lossless container, flooded by concurrent TCP clients
+        // alternating SEEK and READ_RANGE requests. Reported as
+        // aggregate records/s plus per-request p50/p99 latency; every
+        // served payload is then verified byte-identical to a direct
+        // AtcCursor::readRange (after the clock stops).
+        const char *env_clients = std::getenv("ATC_BENCH_SERVE_CLIENTS");
+        const size_t kClients =
+            env_clients ? std::strtoull(env_clients, nullptr, 10) : 64;
+        constexpr size_t kReqPerClient = 24;
+        constexpr uint64_t kReqRecords = 1000;
+
+        serve::ServeOptions sopt;
+        sopt.threads = t;
+        serve::TraceServer server(sopt);
+        if (!server.addContainer("bench", lossless_ref).ok() ||
+            !server.start().ok()) {
+            std::fprintf(stderr, "FATAL: serve sweep: server start\n");
+            return 1;
+        }
+
+        struct ClientResult
+        {
+            std::vector<double> lat_ms;
+            std::vector<std::pair<uint64_t, std::vector<uint64_t>>>
+                payloads; // begin -> served records
+            bool ok = false;
+        };
+        std::vector<ClientResult> results(kClients);
+        std::vector<std::thread> client_threads;
+        client_threads.reserve(kClients);
+        t0 = Clock::now();
+        for (size_t c = 0; c < kClients; ++c) {
+            client_threads.emplace_back([&, c] {
+                ClientResult &res = results[c];
+                auto conn = serve::ServeClient::connect("127.0.0.1",
+                                                        server.port());
+                if (!conn.ok())
+                    return;
+                serve::ServeClient client = conn.take();
+                auto remote = client.open("bench");
+                if (!remote.ok())
+                    return;
+                uint32_t handle = remote.value().handle;
+                for (size_t i = 0; i < kReqPerClient; ++i) {
+                    uint64_t begin = (c * 7919 + i * 104729) %
+                                     (n - kReqRecords);
+                    std::vector<uint64_t> got;
+                    auto q0 = Clock::now();
+                    util::Status st =
+                        (i & 1) ? client.seekRead(handle, begin,
+                                                  uint32_t(kReqRecords),
+                                                  got)
+                                : client.readRange(handle, begin,
+                                                   begin + kReqRecords,
+                                                   got);
+                    auto q1 = Clock::now();
+                    if (!st.ok() || got.size() != kReqRecords)
+                        return;
+                    res.lat_ms.push_back(
+                        std::chrono::duration<double, std::milli>(q1 -
+                                                                  q0)
+                            .count());
+                    res.payloads.emplace_back(begin, std::move(got));
+                }
+                res.ok = true;
+            });
+        }
+        for (auto &th : client_threads)
+            th.join();
+        s = seconds(t0, Clock::now());
+        server.stop();
+
+        std::vector<double> lat;
+        for (const ClientResult &res : results) {
+            if (!res.ok) {
+                std::fprintf(stderr, "FATAL: serve sweep: a client "
+                                     "failed\n");
+                return 1;
+            }
+            lat.insert(lat.end(), res.lat_ms.begin(), res.lat_ms.end());
+        }
+        // Byte-parity audit, off the clock: lossless seeks are exact,
+        // so both request flavours must equal the direct range read.
+        {
+            auto audit = index->cursor();
+            for (const ClientResult &res : results) {
+                for (const auto &[begin, got] : res.payloads) {
+                    std::vector<uint64_t> want;
+                    if (!audit->readRange(begin, begin + kReqRecords,
+                                          want)
+                             .ok() ||
+                        want != got) {
+                        std::fprintf(stderr,
+                                     "FATAL: served records diverge "
+                                     "from direct read at %llu\n",
+                                     static_cast<unsigned long long>(
+                                         begin));
+                        return 1;
+                    }
+                }
+            }
+        }
+        std::sort(lat.begin(), lat.end());
+        if (base_serve == 0)
+            base_serve = s;
+        Row serve_row{"serve_latency", t, s,
+                      static_cast<double>(kClients * kReqPerClient *
+                                          kReqRecords) /
+                          s / 1e6,
+                      base_serve / s};
+        serve_row.p50_ms = lat[lat.size() / 2];
+        serve_row.p99_ms = lat[(lat.size() * 99) / 100];
+        rows.push_back(serve_row);
+
         std::fprintf(stderr,
                      "  %zu thread(s): lossy %.2fs, lossless %.2fs, "
                      "decode %.2fs, lossless decode %.2fs, "
-                     "seek %.2fs, hot seek %.2fs, ranged %.2fs\n",
-                     t, rows[rows.size() - 7].secs,
+                     "seek %.2fs, hot seek %.2fs, ranged %.2fs, "
+                     "serve %.2fs (p50 %.2fms, p99 %.2fms, "
+                     "%zu clients)\n",
+                     t, rows[rows.size() - 8].secs,
+                     rows[rows.size() - 7].secs,
                      rows[rows.size() - 6].secs,
                      rows[rows.size() - 5].secs,
                      rows[rows.size() - 4].secs,
                      rows[rows.size() - 3].secs,
                      rows[rows.size() - 2].secs,
-                     rows[rows.size() - 1].secs);
+                     rows[rows.size() - 1].secs,
+                     rows[rows.size() - 1].p50_ms,
+                     rows[rows.size() - 1].p99_ms, kClients);
     }
 
     std::FILE *json = std::fopen(json_path.c_str(), "w");
@@ -328,9 +464,14 @@ main(int argc, char **argv)
         std::fprintf(json,
                      "    {\"mode\": \"%s\", \"threads\": %zu, "
                      "\"seconds\": %.4f, \"maddrs_per_s\": %.3f, "
-                     "\"speedup\": %.3f}%s\n",
+                     "\"speedup\": %.3f",
                      r.mode.c_str(), r.threads, r.secs, r.maddrs,
-                     r.speedup, i + 1 < rows.size() ? "," : "");
+                     r.speedup);
+        if (r.mode == "serve_latency")
+            std::fprintf(json,
+                         ", \"p50_ms\": %.3f, \"p99_ms\": %.3f",
+                         r.p50_ms, r.p99_ms);
+        std::fprintf(json, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

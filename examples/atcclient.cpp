@@ -1,0 +1,145 @@
+/**
+ * @file
+ * atcclient: command-line client for atcserved.
+ *
+ * Usage: atcclient <host:port> <command> [args]
+ *   ping                          liveness round-trip
+ *   stat                          print the server's key=value counters
+ *   open NAME                     print a container's metadata
+ *   seek NAME POS COUNT           seek and read COUNT records
+ *   range NAME BEGIN END          record-exact extraction of [BEGIN,END)
+ *   shutdown                      ask the server to stop
+ *
+ * Records print one per line as hex addresses (same rendering as
+ * atc2bin --text), so outputs diff cleanly against local decodes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <host:port> <command> [args]\n"
+                 "  ping | stat | shutdown\n"
+                 "  open NAME\n"
+                 "  seek NAME POS COUNT\n"
+                 "  range NAME BEGIN END\n",
+                 argv0);
+    return 2;
+}
+
+void
+printRecords(const std::vector<uint64_t> &records)
+{
+    for (uint64_t r : records)
+        std::printf("%llx\n", static_cast<unsigned long long>(r));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace atc;
+
+    if (argc < 3)
+        return usage(argv[0]);
+
+    std::string target = argv[1];
+    size_t colon = target.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= target.size())
+        return usage(argv[0]);
+    std::string host = target.substr(0, colon);
+    uint16_t port =
+        static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+    std::string cmd = argv[2];
+
+    auto conn = serve::ServeClient::connect(host, port);
+    if (!conn.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     conn.status().message().c_str());
+        return 1;
+    }
+    serve::ServeClient client = conn.take();
+
+    util::Status st;
+    if (cmd == "ping") {
+        st = client.ping();
+        if (st.ok())
+            std::printf("pong\n");
+    } else if (cmd == "stat") {
+        auto text = client.statText();
+        if (!text.ok())
+            st = text.status();
+        else
+            std::fputs(text.value().c_str(), stdout);
+    } else if (cmd == "shutdown") {
+        st = client.shutdownServer();
+        if (st.ok())
+            std::printf("server stopping\n");
+    } else if (cmd == "open" && argc == 4) {
+        auto trace = client.open(argv[3]);
+        if (!trace.ok()) {
+            st = trace.status();
+        } else {
+            const auto &t = trace.value();
+            std::printf("name:      %s\n", argv[3]);
+            std::printf("records:   %llu\n",
+                        static_cast<unsigned long long>(t.records));
+            std::printf("mode:      %s\n",
+                        t.lossy ? "lossy ('k')" : "lossless ('c')");
+            std::printf("container: v%d\n", int(t.container_version));
+        }
+    } else if (cmd == "seek" && argc == 6) {
+        auto trace = client.open(argv[3]);
+        if (!trace.ok()) {
+            st = trace.status();
+        } else {
+            uint64_t pos = std::strtoull(argv[4], nullptr, 0);
+            uint32_t count = static_cast<uint32_t>(
+                std::strtoull(argv[5], nullptr, 0));
+            std::vector<uint64_t> records;
+            uint64_t actual = 0;
+            st = client.seekRead(trace.value().handle, pos, count,
+                                 records, &actual);
+            if (st.ok()) {
+                if (actual != pos)
+                    std::fprintf(stderr,
+                                 "note: lossy seek landed on record "
+                                 "%llu\n",
+                                 static_cast<unsigned long long>(actual));
+                printRecords(records);
+            }
+        }
+    } else if (cmd == "range" && argc == 6) {
+        auto trace = client.open(argv[3]);
+        if (!trace.ok()) {
+            st = trace.status();
+        } else {
+            uint64_t begin = std::strtoull(argv[4], nullptr, 0);
+            uint64_t end = std::strtoull(argv[5], nullptr, 0);
+            std::vector<uint64_t> records;
+            st = client.readRange(trace.value().handle, begin, end,
+                                  records);
+            if (st.ok())
+                printRecords(records);
+        }
+    } else {
+        return usage(argv[0]);
+    }
+
+    if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.message().c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -12,11 +12,13 @@
  *             carry no frame index and report so.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "atc/atc.hpp"
 #include "atc/index.hpp"
@@ -112,10 +114,36 @@ main(int argc, char **argv)
             }
         }
 
-        // Decode a prefix to prove the container is readable.
-        uint64_t probe_buf[1000];
-        size_t probe = reader->read(probe_buf, 1000);
-        std::printf("probe:      first %zu addresses decode OK\n", probe);
+        // Decode a prefix to prove the container is readable — through
+        // cursor->readRange, which reads via the shared decoded-block
+        // cache (the sequential path deliberately bypasses it).
+        uint64_t probe_n = std::min<uint64_t>(1000, reader->count());
+        std::vector<uint64_t> probe_buf;
+        reader->index()
+            ->cursor()
+            ->readRange(0, probe_n, probe_buf)
+            .orThrow();
+        std::printf("probe:      first %zu addresses decode OK\n",
+                    probe_buf.size());
+
+        // The probe populated the index's shared decoded-block cache;
+        // its counters double as a smoke test of the cache path.
+        core::BlockCacheStats cs = reader->index()->cacheStats();
+        std::printf("cache:      %llu hit%s, %llu miss%s, "
+                    "%llu/%llu bytes in %llu entr%s\n",
+                    static_cast<unsigned long long>(cs.hits),
+                    cs.hits == 1 ? "" : "s",
+                    static_cast<unsigned long long>(cs.misses),
+                    cs.misses == 1 ? "" : "es",
+                    static_cast<unsigned long long>(cs.bytes),
+                    static_cast<unsigned long long>(
+                        reader->index()->info().mode == core::Mode::Lossy
+                            ? reader->index()->chunkCache()
+                                  .capacityBytes()
+                            : reader->index()->frameCache()
+                                  .capacityBytes()),
+                    static_cast<unsigned long long>(cs.entries),
+                    cs.entries == 1 ? "y" : "ies");
     } catch (const util::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

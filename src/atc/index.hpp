@@ -176,6 +176,19 @@ class AtcIndex : public std::enable_shared_from_this<AtcIndex>
     BlockCache<uint64_t> &chunkCache() const { return chunk_cache_; }
 
     /**
+     * @return the aggregate counters of whichever shared cache this
+     * container's mode uses (decoded frames in lossless, decoded
+     * chunks in lossy) — the one public window onto cache behaviour,
+     * consumed by `atcinfo` and the serving daemon's STAT op.
+     */
+    BlockCacheStats
+    cacheStats() const
+    {
+        return info_.mode == Mode::Lossy ? chunk_cache_.stats()
+                                         : frame_cache_.stats();
+    }
+
+    /**
      * Fetch the decoded bytes of frame @p f of chunk @p chunk_id
      * through the shared cache: a hit skips the frame in @p src
      * without touching its payload; a miss decodes through

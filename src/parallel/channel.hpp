@@ -80,6 +80,24 @@ class Channel
     }
 
     /**
+     * Non-blocking enqueue: the admission-control primitive — a caller
+     * that must never block (e.g. a poll loop) parks the item itself
+     * when the channel is full instead of stalling inside push().
+     * @return false when the channel is full or closed (item dropped)
+     */
+    bool
+    tryPush(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_ || queue_.size() >= capacity_)
+            return false;
+        queue_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
      * Non-blocking dequeue.
      * @return false when no item was immediately available
      */

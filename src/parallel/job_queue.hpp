@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Typed job queues over the thread pool: the job-server seam.
+ *
+ * ThreadPool's own task channel is untyped (std::function) and shared
+ * by every subsystem borrowing the pool. A server wants the opposite:
+ * a *typed* queue it controls — bounded for backpressure, inspectable
+ * for admission control, closable for shutdown — with the pool merely
+ * supplying the threads. attachWorkers() bridges the two: it parks N
+ * pool workers in a drain loop over a caller-owned Channel<Job>, so
+ * jobs are plain structs, the queue depth is the caller's knob, and
+ * closing the channel releases the workers back to the pool.
+ *
+ * Lifetime: the channel and the handler must outlive the drain loops,
+ * i.e. survive until the channel is closed AND the pool has finished
+ * the attached tasks (pool shutdown/destruction joins them). The
+ * conventional order — channel member declared before the pool member
+ * — gets this right by construction.
+ */
+
+#ifndef ATC_PARALLEL_JOB_QUEUE_HPP_
+#define ATC_PARALLEL_JOB_QUEUE_HPP_
+
+#include <cstddef>
+
+#include "parallel/channel.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace atc::parallel {
+
+/**
+ * Park @p workers pool workers in a drain loop over @p queue: each
+ * pops jobs and runs @p handler(job) until the channel is closed and
+ * empty. The handler is copied per worker and may be called
+ * concurrently from all of them.
+ *
+ * @return workers actually attached (less than requested only when
+ *         the pool is shutting down)
+ */
+template <typename T, typename F>
+size_t
+attachWorkers(ThreadPool &pool, Channel<T> &queue, size_t workers,
+              F handler)
+{
+    size_t attached = 0;
+    for (size_t i = 0; i < workers; ++i) {
+        bool ok = pool.submit([&queue, handler]() mutable {
+            T job;
+            while (queue.pop(job))
+                handler(job);
+        });
+        if (!ok)
+            break;
+        ++attached;
+    }
+    return attached;
+}
+
+} // namespace atc::parallel
+
+#endif // ATC_PARALLEL_JOB_QUEUE_HPP_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Client library for the trace-serving daemon.
+ *
+ * ServeClient wraps one TCP connection and the wire protocol of
+ * serve/protocol.hpp behind Status-returning calls. Two styles:
+ *
+ *  - Synchronous: ping(), open(), seekRead(), readRange(), stat(),
+ *    closeHandle(), shutdownServer() — one request, one matched
+ *    response.
+ *  - Pipelined: sendSeekRead()/sendReadRange() enqueue requests
+ *    without waiting; receive() pops the next response (matched to a
+ *    request by its echoed request id). This is how the bench's
+ *    hostile-scanner client floods the server.
+ *
+ * A ServeClient is confined to one thread; open handles are scoped to
+ * the connection and vanish with it. Record payloads are decoded from
+ * the little-endian wire format into host uint64_t vectors.
+ */
+
+#ifndef ATC_SERVE_CLIENT_HPP_
+#define ATC_SERVE_CLIENT_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+#include "util/status.hpp"
+
+namespace atc::serve {
+
+/** Metadata of a remotely opened container. */
+struct RemoteTrace
+{
+    uint32_t handle = 0;
+    uint64_t records = 0;
+    bool lossy = false;
+    uint8_t container_version = 0;
+};
+
+/** A decoded response to a pipelined request. */
+struct ClientResponse
+{
+    uint32_t request_id = 0;
+    Op op = Op::Ping;
+    Wire status = Wire::kOk;
+    std::string error;  ///< server message when status != kOk
+    uint64_t actual_pos = 0; ///< Seek: where the cursor landed
+    std::vector<uint64_t> records; ///< Seek / ReadRange payload
+    std::string text; ///< Stat payload
+};
+
+/** One connection to a TraceServer; see the file comment. */
+class ServeClient
+{
+  public:
+    /** Connect to @p host : @p port. */
+    static util::StatusOr<ServeClient> connect(const std::string &host,
+                                               uint16_t port);
+
+    ServeClient(ServeClient &&) = default;
+    ServeClient &operator=(ServeClient &&) = default;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Liveness probe. */
+    util::Status ping();
+
+    /** Open container @p name; the handle lives on this connection. */
+    util::StatusOr<RemoteTrace> open(const std::string &name);
+
+    /** Release @p handle server-side. */
+    util::Status closeHandle(uint32_t handle);
+
+    /**
+     * Seek @p handle to @p pos and read up to @p count records (short
+     * only at end of trace). Lossy containers land on the containing
+     * interval boundary; @p actual_pos (optional) reports where.
+     */
+    util::Status seekRead(uint32_t handle, uint64_t pos, uint32_t count,
+                          std::vector<uint64_t> &out,
+                          uint64_t *actual_pos = nullptr);
+
+    /** Record-exact extraction of [@p begin, @p end); mirrors
+     *  core::AtcCursor::readRange over the wire. */
+    util::Status readRange(uint32_t handle, uint64_t begin,
+                           uint64_t end, std::vector<uint64_t> &out);
+
+    /** @return the server's STAT text (key=value lines). */
+    util::StatusOr<std::string> statText();
+
+    /** Parse STAT text into numeric key -> value. */
+    static std::map<std::string, uint64_t>
+    parseStat(const std::string &text);
+
+    /** Ask the server to stop (responds before stopping). */
+    util::Status shutdownServer();
+
+    // ---- pipelined interface ---------------------------------------
+
+    /** Enqueue a SEEK without waiting. @return the request id. */
+    util::StatusOr<uint32_t> sendSeekRead(uint32_t handle, uint64_t pos,
+                                          uint32_t count);
+
+    /** Enqueue a READ_RANGE without waiting. @return the request id. */
+    util::StatusOr<uint32_t> sendReadRange(uint32_t handle,
+                                           uint64_t begin, uint64_t end);
+
+    /** Block for the next response (any pipelined request). */
+    util::Status receive(ClientResponse &out);
+
+    /** Close the connection (handles die with it). */
+    void disconnect() { sock_.close(); }
+
+  private:
+    explicit ServeClient(Socket sock) : sock_(std::move(sock)) {}
+
+    util::Status sendRequest(const Request &req);
+    /** Round-trip: send @p req, wait for its response, surface
+     *  non-kOk statuses as Status errors. */
+    util::Status call(const Request &req, ClientResponse &resp);
+
+    Socket sock_;
+    uint32_t next_id_ = 1;
+    std::vector<uint8_t> frame_; ///< scratch encode buffer
+};
+
+} // namespace atc::serve
+
+#endif // ATC_SERVE_CLIENT_HPP_

@@ -1,0 +1,263 @@
+#include "serve/socket.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace atc::serve {
+
+namespace {
+
+std::string
+errnoMessage(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Wait for @p events on @p fd; EINTR-safe.
+ *  @return 1 ready, 0 timeout, -1 error */
+int
+waitFd(int fd, short events, int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        int r = ::poll(&pfd, 1, timeout_ms);
+        if (r >= 0)
+            return r > 0 ? 1 : 0;
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ < 0)
+        return;
+    // POSIX leaves the descriptor state unspecified on EINTR from
+    // close(); retrying risks closing a recycled fd, so don't.
+    ::close(fd_);
+    fd_ = -1;
+}
+
+util::Status
+Socket::setNonBlocking()
+{
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0)
+        return util::Status::error(errnoMessage("fcntl(O_NONBLOCK)"));
+    return util::Status();
+}
+
+IoResult
+Socket::readFull(void *buf, size_t n, std::string *err,
+                 int timeout_ms) const
+{
+    uint8_t *p = static_cast<uint8_t *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd_, p + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+            continue;
+        }
+        if (r == 0 || (r < 0 && errno == ECONNRESET)) {
+            if (got == 0)
+                return IoResult::kEof;
+            if (err)
+                *err = "connection closed mid-message";
+            return IoResult::kError;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            int w = waitFd(fd_, POLLIN, timeout_ms);
+            if (w == 1)
+                continue;
+            if (err)
+                *err = w == 0 ? "read timed out"
+                              : errnoMessage("poll(POLLIN)");
+            return IoResult::kError;
+        }
+        if (err)
+            *err = errnoMessage("recv");
+        return IoResult::kError;
+    }
+    return IoResult::kOk;
+}
+
+IoResult
+Socket::writeFull(const void *buf, size_t n, std::string *err,
+                  int timeout_ms) const
+{
+#ifdef MSG_NOSIGNAL
+    constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+    constexpr int kSendFlags = 0;
+#endif
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    size_t sent = 0;
+    while (sent < n) {
+        ssize_t r = ::send(fd_, p + sent, n - sent, kSendFlags);
+        if (r > 0) {
+            sent += static_cast<size_t>(r);
+            continue;
+        }
+        if (r < 0 && (errno == EPIPE || errno == ECONNRESET))
+            return IoResult::kEof;
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            int w = waitFd(fd_, POLLOUT, timeout_ms);
+            if (w == 1)
+                continue;
+            if (err)
+                *err = w == 0 ? "write timed out (peer not draining)"
+                              : errnoMessage("poll(POLLOUT)");
+            return IoResult::kError;
+        }
+        if (err)
+            *err = errnoMessage("send");
+        return IoResult::kError;
+    }
+    return IoResult::kOk;
+}
+
+util::StatusOr<Socket>
+listenLoopback(uint16_t port, int backlog)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return util::Status::error(errnoMessage("socket"));
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return util::Status::error(errnoMessage("bind"));
+    if (::listen(sock.fd(), backlog) != 0)
+        return util::Status::error(errnoMessage("listen"));
+    util::Status nb = sock.setNonBlocking();
+    if (!nb.ok())
+        return nb;
+    return sock;
+}
+
+util::StatusOr<uint16_t>
+boundPort(const Socket &listener)
+{
+    struct sockaddr_in addr;
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(),
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0)
+        return util::Status::error(errnoMessage("getsockname"));
+    return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+util::StatusOr<Socket>
+acceptConnection(const Socket &listener)
+{
+    for (;;) {
+        int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            Socket sock(fd);
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            util::Status nb = sock.setNonBlocking();
+            if (!nb.ok())
+                return nb;
+            return sock;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return Socket(); // nothing pending right now
+        return util::Status::error(errnoMessage("accept"));
+    }
+}
+
+util::StatusOr<Socket>
+connectTo(const std::string &host, uint16_t port)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *res = nullptr;
+    std::string port_str = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+    if (rc != 0)
+        return util::Status::error("getaddrinfo(" + host +
+                                   "): " + ::gai_strerror(rc));
+    Socket sock;
+    std::string err = "no addresses for " + host;
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        Socket candidate(
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!candidate.valid()) {
+            err = errnoMessage("socket");
+            continue;
+        }
+        // An EINTR-interrupted connect keeps progressing in the
+        // background; a blind retry reports EALREADY (in progress) or
+        // EISCONN (done). Wait for writability and read SO_ERROR —
+        // the one portable way to learn the real outcome.
+        int r = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
+        if (r != 0 && errno == EINTR) {
+            if (waitFd(candidate.fd(), POLLOUT, -1) == 1) {
+                int so_err = 0;
+                socklen_t so_len = sizeof(so_err);
+                if (::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR,
+                                 &so_err, &so_len) == 0 &&
+                    so_err == 0)
+                    r = 0;
+                else
+                    errno = so_err != 0 ? so_err : errno;
+            }
+        }
+        if (r == 0) {
+            int one = 1;
+            ::setsockopt(candidate.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            sock = std::move(candidate);
+            break;
+        }
+        err = errnoMessage("connect");
+    }
+    ::freeaddrinfo(res);
+    if (!sock.valid())
+        return util::Status::error(err);
+    return sock;
+}
+
+void
+ignoreSigpipe()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+} // namespace atc::serve

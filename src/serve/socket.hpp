@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal POSIX TCP wrapper for the trace-serving daemon.
+ *
+ * Socket is an RAII file descriptor with EINTR-safe exact-length I/O.
+ * The daemon's sessions run their descriptors non-blocking (the poll
+ * loop demands it), so writeFull() transparently waits for POLLOUT
+ * with a bounded timeout instead of failing with EAGAIN — a client
+ * that stops draining its socket eventually times out and is
+ * disconnected rather than pinning a worker forever.
+ *
+ * Peer-initiated teardown is a normal event for a server, not an
+ * error: readFull()/writeFull() report EOF (clean close, ECONNRESET,
+ * EPIPE) distinctly from genuine I/O failures so callers can reap the
+ * session silently. All sends use MSG_NOSIGNAL and the daemon
+ * additionally ignores SIGPIPE (ignoreSigpipe()) — a dying peer must
+ * never kill the process.
+ */
+
+#ifndef ATC_SERVE_SOCKET_HPP_
+#define ATC_SERVE_SOCKET_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace atc::serve {
+
+/** Outcome of an exact-length I/O operation. */
+enum class IoResult {
+    kOk,    ///< all bytes transferred
+    kEof,   ///< peer closed the connection (clean or reset)
+    kError, ///< genuine I/O failure (message in *err)
+};
+
+/** RAII TCP socket (movable, non-copyable). */
+class Socket
+{
+  public:
+    Socket() = default;
+    /** Adopt @p fd (already open; -1 = empty). */
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the descriptor (idempotent, EINTR-safe). */
+    void close();
+
+    /** Put the descriptor in non-blocking mode. */
+    util::Status setNonBlocking();
+
+    /**
+     * Read exactly @p n bytes, retrying short reads and EINTR, and
+     * waiting for readability on non-blocking descriptors.
+     * kEof means the peer closed before the *first* byte; a close in
+     * the middle of the span is a truncation and reports kError.
+     * @param timeout_ms bound on each readability wait; <= 0 = forever
+     */
+    IoResult readFull(void *buf, size_t n, std::string *err,
+                      int timeout_ms = -1) const;
+
+    /**
+     * Write exactly @p n bytes (MSG_NOSIGNAL), retrying EINTR and
+     * waiting for writability on non-blocking descriptors. EPIPE and
+     * ECONNRESET report kEof — a vanished peer, not a failure.
+     * @param timeout_ms bound on each writability wait; <= 0 = forever
+     */
+    IoResult writeFull(const void *buf, size_t n, std::string *err,
+                       int timeout_ms = -1) const;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Open a loopback listener on @p port (0 = kernel-assigned). The
+ * socket is non-blocking (for the poll loop) with SO_REUSEADDR.
+ */
+util::StatusOr<Socket> listenLoopback(uint16_t port, int backlog = 128);
+
+/** @return the locally bound port of @p listener. */
+util::StatusOr<uint16_t> boundPort(const Socket &listener);
+
+/**
+ * Accept one pending connection on non-blocking @p listener.
+ * @return an empty (invalid) Socket when no connection is pending
+ */
+util::StatusOr<Socket> acceptConnection(const Socket &listener);
+
+/** Connect to @p host (numeric or name) : @p port; blocking socket. */
+util::StatusOr<Socket> connectTo(const std::string &host, uint16_t port);
+
+/** Ignore SIGPIPE process-wide (idempotent); a peer that disappears
+ *  mid-write must surface as EPIPE, never as a fatal signal. */
+void ignoreSigpipe();
+
+} // namespace atc::serve
+
+#endif // ATC_SERVE_SOCKET_HPP_

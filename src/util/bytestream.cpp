@@ -1,10 +1,55 @@
 #include "util/bytestream.hpp"
 
+#include <cerrno>
 #include <limits>
 
 namespace atc::util {
 
 namespace {
+
+/**
+ * EINTR-safe fread: a signal delivered mid-read (a daemon handling
+ * SIGTERM, a debugger attach) makes stdio return short with the error
+ * flag set and errno == EINTR. Clear the flag and resume where the
+ * partial transfer stopped; only genuine errors and end-of-file end
+ * the loop.
+ */
+size_t
+freadRetry(uint8_t *data, size_t n, std::FILE *fp)
+{
+    size_t done = 0;
+    while (done < n) {
+        size_t got = std::fread(data + done, 1, n - done, fp);
+        done += got;
+        if (done == n || std::feof(fp))
+            break;
+        if (std::ferror(fp)) {
+            if (errno != EINTR)
+                break;
+            std::clearerr(fp);
+        }
+    }
+    return done;
+}
+
+/** EINTR-safe fwrite; mirrors freadRetry. */
+size_t
+fwriteRetry(const uint8_t *data, size_t n, std::FILE *fp)
+{
+    size_t done = 0;
+    while (done < n) {
+        size_t put = std::fwrite(data + done, 1, n - done, fp);
+        done += put;
+        if (done == n)
+            break;
+        if (std::ferror(fp)) {
+            if (errno != EINTR)
+                break;
+            std::clearerr(fp);
+        }
+    }
+    return done;
+}
 
 /**
  * 64-bit-clean stdio positioning. fseek/ftell traffic in `long`, which
@@ -92,7 +137,7 @@ void
 FileSink::write(const uint8_t *data, size_t n)
 {
     ATC_ASSERT(fp_ != nullptr);
-    if (n > 0 && std::fwrite(data, 1, n, fp_) != n)
+    if (n > 0 && fwriteRetry(data, n, fp_) != n)
         raise("file write failed");
     written_ += n;
 }
@@ -130,7 +175,7 @@ size_t
 FileSource::read(uint8_t *data, size_t n)
 {
     ATC_ASSERT(fp_ != nullptr);
-    return std::fread(data, 1, n, fp_);
+    return freadRetry(data, n, fp_);
 }
 
 void
