@@ -7,11 +7,18 @@ threshold. Compression modes are reported but not gated: CI runners
 vary enough that only the decode hot path — the paper's headline
 claim — is held to a hard bound.
 
+The obs_overhead mode carries its own absolute gate: the bench decodes
+once with metrics recording on and once with it runtime-disabled, and
+the run fails when leaving metrics on costs more than
+--obs-overhead-max percent (default 3).
+
 Usage:
     check_regression.py <bench.json> <baseline.json>
-        [--threshold 0.15] [--summary <markdown-file>]
+        [--threshold 0.15] [--obs-overhead-max 3.0]
+        [--summary <markdown-file>]
 
-The threshold can also be set via ATC_BENCH_REGRESSION_THRESHOLD.
+The threshold can also be set via ATC_BENCH_REGRESSION_THRESHOLD, the
+overhead bound via ATC_OBS_OVERHEAD_MAX.
 The --summary file receives a GitHub-flavoured markdown table (append
 mode, so pointing it at $GITHUB_STEP_SUMMARY stacks a row per job and
 the perf trajectory stays visible across PRs).
@@ -23,7 +30,7 @@ import os
 import sys
 
 GATED_MODES = ("lossy_decompress", "lossless_decompress", "seek_hot",
-               "serve_latency")
+               "serve_latency", "obs_overhead")
 
 
 def best_throughput(results, mode):
@@ -52,6 +59,12 @@ def main():
                                      "0.15")),
         help="maximum tolerated decode-throughput regression "
              "(fraction, default 0.15)")
+    parser.add_argument(
+        "--obs-overhead-max",
+        type=float,
+        default=float(os.environ.get("ATC_OBS_OVERHEAD_MAX", "3.0")),
+        help="maximum tolerated metrics-on decode overhead "
+             "(percent, default 3.0)")
     parser.add_argument("--summary", help="markdown file to append to")
     args = parser.parse_args()
 
@@ -110,6 +123,25 @@ def main():
             lines.append("| %s | MISSING | %.3f | – | – | FAIL |"
                          % (mode,
                             best_throughput(baseline["results"], mode)))
+
+    # Absolute gate on the cost of the observability layer itself:
+    # obs_overhead rows carry overhead_pct, the slowdown of decoding
+    # with metrics recording on versus runtime-disabled.
+    overhead_rows = [r for r in bench["results"]
+                     if "overhead_pct" in r]
+    for row in overhead_rows:
+        pct = row["overhead_pct"]
+        if pct > args.obs_overhead_max:
+            failures.append(
+                "obs_overhead: metrics-on decode is %.2f%% slower than "
+                "metrics-off (bound %.2f%%)"
+                % (pct, args.obs_overhead_max))
+        lines.append("")
+        lines.append("Observability overhead: %.2f%% (metrics on "
+                     "%.3f Maddrs/s, off %.3f Maddrs/s, bound %.1f%%)."
+                     % (pct, row["maddrs_per_s"],
+                        row.get("off_maddrs_per_s", 0),
+                        args.obs_overhead_max))
 
     lines.append("")
     if failures:

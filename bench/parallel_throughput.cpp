@@ -46,6 +46,7 @@
 
 #include "atc/index.hpp"
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/client.hpp"
@@ -82,6 +83,54 @@ parseThreadList(const char *csv)
     return out;
 }
 
+/**
+ * Per-stage CPU-time breakdown of one timed section, from the delta of
+ * two obs registry snapshots. Values are summed across worker threads
+ * (CPU-seconds, not wall-clock), so a 4-thread row's codec_s may
+ * exceed its seconds — the ratio is the stage's effective parallelism.
+ */
+struct Stages
+{
+    bool present = false; ///< false when observability is off
+    double transform_s = 0;   ///< bytesort/delta transform compute
+    double codec_s = 0;       ///< BWT + MTF/RLE + entropy stages
+    double io_s = 0;          ///< FileSource/FileSink transfer time
+    double queue_wait_s = 0;  ///< channel + pool queue waits
+    double worker_busy_s = 0; ///< pool task execution time
+};
+
+Stages
+stageDelta(const atc::obs::Snapshot &before,
+           const atc::obs::Snapshot &after)
+{
+    auto cd = [&](const char *key) {
+        return double(after.value(key) - before.value(key)) / 1e6;
+    };
+    auto hd = [&](const char *key) {
+        return double(after.histSum(key) - before.histSum(key)) / 1e6;
+    };
+    Stages s;
+    s.present = atc::obs::enabled();
+    if (!s.present)
+        return s;
+    s.transform_s =
+        cd("atc.transform.encode_us") + cd("atc.transform.decode_us");
+    s.codec_s = cd("codec.encode.bwt_us") +
+                cd("codec.encode.mtf_rle_us") +
+                cd("codec.encode.entropy_us") +
+                cd("codec.decode.bwt_us") +
+                cd("codec.decode.mtf_rle_us") +
+                cd("codec.decode.entropy_us") +
+                cd("lossy.chunk_compress_us") +
+                cd("lossy.chunk_decode_us");
+    s.io_s = cd("io.read_us") + cd("io.write_us");
+    s.queue_wait_s = hd("channel.push_wait_us") +
+                     hd("channel.pop_wait_us") +
+                     hd("pool.queue_wait_us");
+    s.worker_busy_s = cd("pool.worker_busy_us");
+    return s;
+}
+
 struct Row
 {
     std::string mode;
@@ -92,6 +141,13 @@ struct Row
     /** serve_latency only: per-request latency percentiles. */
     double p50_ms = 0;
     double p99_ms = 0;
+    /** compress/decompress rows: per-stage time breakdown. */
+    Stages stages;
+    /** obs_overhead only: metrics-off throughput and the relative
+     *  cost of leaving metrics on (positive = slowdown). */
+    double off_maddrs = 0;
+    double overhead_pct = 0;
+    bool has_overhead = false;
 };
 
 } // namespace
@@ -149,8 +205,11 @@ main(int argc, char **argv)
         parallel::ParallelOptions popt;
         popt.threads = t;
 
+        auto &registry = obs::Registry::global();
+
         // Lossy compression sweep.
         core::MemoryStore lossy_store;
+        auto snap0 = registry.snapshot();
         auto t0 = Clock::now();
         {
             parallel::ParallelAtcWriter w(lossy_store, lossy_opt, popt);
@@ -163,6 +222,7 @@ main(int argc, char **argv)
         rows.push_back({"lossy_compress", t, s,
                         static_cast<double>(n) / s / 1e6,
                         base_lossy / s});
+        rows.back().stages = stageDelta(snap0, registry.snapshot());
 
         // Byte identity across thread counts, checked in passing.
         if (t == threads.front()) {
@@ -185,6 +245,7 @@ main(int argc, char **argv)
 
         // Lossless compression sweep.
         core::MemoryStore lossless_store;
+        snap0 = registry.snapshot();
         t0 = Clock::now();
         {
             parallel::ParallelAtcWriter w(lossless_store, lossless_opt,
@@ -198,10 +259,12 @@ main(int argc, char **argv)
         rows.push_back({"lossless_compress", t, s,
                         static_cast<double>(n) / s / 1e6,
                         base_lossless / s});
+        rows.back().stages = stageDelta(snap0, registry.snapshot());
         if (t == threads.front())
             lossless_ref = std::move(lossless_store);
 
         // Lossy decompression sweep (prefetching reader).
+        snap0 = registry.snapshot();
         t0 = Clock::now();
         {
             parallel::ParallelAtcReader r(reference, popt);
@@ -215,10 +278,12 @@ main(int argc, char **argv)
         rows.push_back({"lossy_decompress", t, s,
                         static_cast<double>(n) / s / 1e6,
                         base_read / s});
+        rows.back().stages = stageDelta(snap0, registry.snapshot());
 
         // Lossless decompression sweep: container v3's seekable frames
         // let the reader decode blocks in the pool, so this is where
         // decode throughput must scale with the thread count.
+        snap0 = registry.snapshot();
         t0 = Clock::now();
         {
             parallel::ParallelAtcReader r(lossless_ref, popt);
@@ -232,6 +297,7 @@ main(int argc, char **argv)
         rows.push_back({"lossless_decompress", t, s,
                         static_cast<double>(n) / s / 1e6,
                         base_lossless_read / s});
+        rows.back().stages = stageDelta(snap0, registry.snapshot());
 
         // Random-access sweep over the lossless v3 container, via the
         // shared index + cursor API (no streaming reader in the way).
@@ -447,6 +513,47 @@ main(int argc, char **argv)
                      rows[rows.size() - 1].p99_ms, kClients);
     }
 
+    // obs_overhead: prove the metrics layer is affordable. One-thread
+    // lossless decode — the gated hot path, with per-frame and
+    // per-buffer record sites live — best of 3 runs with metrics on vs
+    // runtime-disabled. overhead_pct is the slowdown of leaving
+    // metrics on; check_regression.py gates it at 3%.
+    {
+        auto decodeOnce = [&]() {
+            parallel::ParallelOptions popt1;
+            popt1.threads = 1;
+            auto d0 = Clock::now();
+            parallel::ParallelAtcReader r(lossless_ref, popt1);
+            uint64_t buf[65536];
+            while (r.read(buf, 65536) != 0) {
+            }
+            return seconds(d0, Clock::now());
+        };
+        decodeOnce(); // warm up (page cache, pool, registry handles)
+        // Interleave the on/off runs so clock-frequency drift hits
+        // both sides equally; best-of-3 each discards outliers.
+        double on_s = 1e100, off_s = 1e100;
+        for (int i = 0; i < 3; ++i) {
+            obs::setEnabled(true);
+            on_s = std::min(on_s, decodeOnce());
+            obs::setEnabled(false);
+            off_s = std::min(off_s, decodeOnce());
+        }
+        obs::setEnabled(true);
+
+        double on_maddrs = static_cast<double>(n) / on_s / 1e6;
+        double off_maddrs = static_cast<double>(n) / off_s / 1e6;
+        Row overhead{"obs_overhead", 1, on_s, on_maddrs, 1.0};
+        overhead.off_maddrs = off_maddrs;
+        overhead.overhead_pct = (off_maddrs / on_maddrs - 1.0) * 100.0;
+        overhead.has_overhead = true;
+        rows.push_back(overhead);
+        std::fprintf(stderr,
+                     "  obs_overhead: metrics on %.3f Maddrs/s, off "
+                     "%.3f Maddrs/s (%.2f%% overhead)\n",
+                     on_maddrs, off_maddrs, overhead.overhead_pct);
+    }
+
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (!json) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -471,10 +578,34 @@ main(int argc, char **argv)
             std::fprintf(json,
                          ", \"p50_ms\": %.3f, \"p99_ms\": %.3f",
                          r.p50_ms, r.p99_ms);
+        if (r.stages.present)
+            std::fprintf(json,
+                         ", \"stages\": {\"transform_s\": %.4f, "
+                         "\"codec_s\": %.4f, \"io_s\": %.4f, "
+                         "\"queue_wait_s\": %.4f, "
+                         "\"worker_busy_s\": %.4f}",
+                         r.stages.transform_s, r.stages.codec_s,
+                         r.stages.io_s, r.stages.queue_wait_s,
+                         r.stages.worker_busy_s);
+        if (r.has_overhead)
+            std::fprintf(json,
+                         ", \"off_maddrs_per_s\": %.3f, "
+                         "\"overhead_pct\": %.2f",
+                         r.off_maddrs, r.overhead_pct);
         std::fprintf(json, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
+
+    // Full registry snapshot next to the bench JSON — the CI perf job
+    // uploads both, so stage-level drift is diagnosable from the
+    // artifact alone (see docs/metrics.md).
+    std::string metrics_path = json_path + ".metrics.json";
+    if (!obs::writeMetricsJson(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
     return 0;
 }

@@ -23,6 +23,10 @@
  *         budget of the shared decoded-block cache backing seeks and
  *         ranges (default 256m, 0 disables); repeated --range specs
  *         over one working set decode each covering frame/chunk once
+ *   --metrics-json PATH
+ *         before exiting, dump the obs registry snapshot (decode stage
+ *         timings, cache and I/O counters) to PATH as JSON (see
+ *         docs/metrics.md)
  *
  * Example (paper Figure 8):
  *   atc2bin -j 4 foobar | wc -c
@@ -38,6 +42,7 @@
 #include <vector>
 
 #include "atc/atc.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
 
 namespace {
@@ -98,11 +103,28 @@ main(int argc, char **argv)
     size_t threads = 1;
     size_t cache_bytes = core::kDefaultDecodedCacheBytes;
     long expect_version = 0; // 0 = accept any
+    std::string metrics_json;
     std::vector<std::pair<uint64_t, uint64_t>> ranges;
     const char *dir = nullptr;
     bool bad_args = false;
+    // Both exit paths (range extraction and streaming decode) funnel
+    // through this before returning success.
+    auto finish = [&metrics_json]() -> int {
+        if (!metrics_json.empty() &&
+            !obs::writeMetricsJson(metrics_json)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         metrics_json.c_str());
+            return 1;
+        }
+        return 0;
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "-j") == 0 ||
+        if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            if (i + 1 >= argc)
+                bad_args = true;
+            else
+                metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "-j") == 0 ||
             std::strcmp(argv[i], "--threads") == 0) {
             if (i + 1 >= argc)
                 bad_args = true;
@@ -159,7 +181,7 @@ main(int argc, char **argv)
     if (dir == nullptr || bad_args) {
         std::fprintf(stderr,
                      "usage: %s [-j N] [--container-version V] "
-                     "[--cache BYTES[k|m|g]] "
+                     "[--cache BYTES[k|m|g]] [--metrics-json PATH] "
                      "[--range BEGIN:END]... <dirname>\n",
                      argv[0]);
         return 2;
@@ -208,7 +230,7 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        return 0;
+        return finish();
     }
 
     std::unique_ptr<core::AtcReader> serial;
@@ -263,5 +285,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return 0;
+    return finish();
 }

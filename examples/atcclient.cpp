@@ -5,6 +5,8 @@
  * Usage: atcclient <host:port> <command> [args]
  *   ping                          liveness round-trip
  *   stat                          print the server's key=value counters
+ *   metrics                       print the server's obs registry
+ *                                 snapshot (atc_metrics text format)
  *   open NAME                     print a container's metadata
  *   seek NAME POS COUNT           seek and read COUNT records
  *   range NAME BEGIN END          record-exact extraction of [BEGIN,END)
@@ -29,7 +31,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <host:port> <command> [args]\n"
-                 "  ping | stat | shutdown\n"
+                 "  ping | stat | metrics | shutdown\n"
                  "  open NAME\n"
                  "  seek NAME POS COUNT\n"
                  "  range NAME BEGIN END\n",
@@ -78,6 +80,12 @@ main(int argc, char **argv)
             std::printf("pong\n");
     } else if (cmd == "stat") {
         auto text = client.statText();
+        if (!text.ok())
+            st = text.status();
+        else
+            std::fputs(text.value().c_str(), stdout);
+    } else if (cmd == "metrics") {
+        auto text = client.metricsText();
         if (!text.ok())
             st = text.status();
         else

@@ -5,11 +5,15 @@
  * The chunk suffix is auto-detected; pass it explicitly only when
  * several containers share one directory.
  *
- * Usage: atcinfo [--frames] <dirname> [suffix]
+ * Usage: atcinfo [--frames] [--metrics] <dirname> [suffix]
  *   --frames  also print each chunk's v3 frame index: frame count and
  *             compressed/decompressed extents, straight from the
  *             AtcIndex scan (no payload is decoded). v1/v2 containers
  *             carry no frame index and report so.
+ *   --metrics after the probe, print the full obs registry snapshot
+ *             in the shared atc_metrics text encoding (cache.*, io.*,
+ *             codec.* — whatever the scan exercised; see
+ *             docs/metrics.md) instead of the one-line cache summary.
  */
 
 #include <algorithm>
@@ -22,6 +26,7 @@
 
 #include "atc/atc.hpp"
 #include "atc/index.hpp"
+#include "obs/metrics.hpp"
 
 int
 main(int argc, char **argv)
@@ -29,18 +34,23 @@ main(int argc, char **argv)
     using namespace atc;
 
     bool frames = false;
+    bool metrics = false;
     std::string dir;
     std::string suffix;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--frames") == 0)
             frames = true;
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            metrics = true;
         else if (dir.empty())
             dir = argv[i];
         else
             suffix = argv[i];
     }
     if (dir.empty()) {
-        std::fprintf(stderr, "usage: %s [--frames] <dirname> [suffix]\n",
+        std::fprintf(stderr,
+                     "usage: %s [--frames] [--metrics] <dirname> "
+                     "[suffix]\n",
                      argv[0]);
         return 2;
     }
@@ -126,24 +136,35 @@ main(int argc, char **argv)
         std::printf("probe:      first %zu addresses decode OK\n",
                     probe_buf.size());
 
-        // The probe populated the index's shared decoded-block cache;
-        // its counters double as a smoke test of the cache path.
-        core::BlockCacheStats cs = reader->index()->cacheStats();
-        std::printf("cache:      %llu hit%s, %llu miss%s, "
-                    "%llu/%llu bytes in %llu entr%s\n",
-                    static_cast<unsigned long long>(cs.hits),
-                    cs.hits == 1 ? "" : "s",
-                    static_cast<unsigned long long>(cs.misses),
-                    cs.misses == 1 ? "" : "es",
-                    static_cast<unsigned long long>(cs.bytes),
-                    static_cast<unsigned long long>(
-                        reader->index()->info().mode == core::Mode::Lossy
-                            ? reader->index()->chunkCache()
-                                  .capacityBytes()
-                            : reader->index()->frameCache()
-                                  .capacityBytes()),
-                    static_cast<unsigned long long>(cs.entries),
-                    cs.entries == 1 ? "y" : "ies");
+        // The probe populated the index's shared decoded-block cache
+        // and exercised the instrumented decode path. With --metrics
+        // the whole registry snapshot goes out in the shared text
+        // encoding (the same bytes the serve METRICS op returns);
+        // otherwise just the one-line cache summary.
+        if (metrics) {
+            std::printf("metrics:\n%s",
+                        obs::snapshotToText(
+                            obs::Registry::global().snapshot())
+                            .c_str());
+        } else {
+            core::BlockCacheStats cs = reader->index()->cacheStats();
+            std::printf("cache:      %llu hit%s, %llu miss%s, "
+                        "%llu/%llu bytes in %llu entr%s\n",
+                        static_cast<unsigned long long>(cs.hits),
+                        cs.hits == 1 ? "" : "s",
+                        static_cast<unsigned long long>(cs.misses),
+                        cs.misses == 1 ? "" : "es",
+                        static_cast<unsigned long long>(cs.bytes),
+                        static_cast<unsigned long long>(
+                            reader->index()->info().mode ==
+                                    core::Mode::Lossy
+                                ? reader->index()->chunkCache()
+                                      .capacityBytes()
+                                : reader->index()->frameCache()
+                                      .capacityBytes()),
+                        static_cast<unsigned long long>(cs.entries),
+                        cs.entries == 1 ? "y" : "ies");
+        }
     } catch (const util::Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -17,6 +17,11 @@
  *                    across containers
  *   --max-inflight N heavy requests one client may have executing
  *   --max-range N    per-request record ceiling (kTooLarge beyond it)
+ *   --log-level L    structured stderr logging: off (default), info
+ *                    (session lifecycle + non-ok requests), debug
+ *                    (every request)
+ *   --metrics-json PATH on exit, dump the obs registry snapshot to
+ *                    PATH as JSON (see docs/metrics.md)
  *
  * The daemon runs until SIGINT/SIGTERM or a client SHUTDOWN op, then
  * tears down cleanly and exits 0.
@@ -28,6 +33,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -47,6 +53,8 @@ usage(const char *argv0)
                  "usage: %s [--port N] [--port-file PATH] [--threads N]"
                  " [--cache BYTES]\n"
                  "          [--max-inflight N] [--max-range N]"
+                 " [--log-level off|info|debug]\n"
+                 "          [--metrics-json PATH]"
                  " NAME=DIR [NAME=DIR ...]\n",
                  argv0);
     return 2;
@@ -61,6 +69,7 @@ main(int argc, char **argv)
 
     serve::ServeOptions opt;
     std::string port_file;
+    std::string metrics_json;
     std::vector<std::pair<std::string, std::string>> mappings;
 
     for (int i = 1; i < argc; ++i) {
@@ -89,6 +98,25 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 return usage(argv[0]);
             port_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--log-level") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            const char *level = argv[++i];
+            if (std::strcmp(level, "off") == 0)
+                opt.log_level = serve::LogLevel::kOff;
+            else if (std::strcmp(level, "info") == 0)
+                opt.log_level = serve::LogLevel::kInfo;
+            else if (std::strcmp(level, "debug") == 0)
+                opt.log_level = serve::LogLevel::kDebug;
+            else {
+                std::fprintf(stderr,
+                             "--log-level must be off, info, or debug\n");
+                return 2;
+            }
         } else {
             const char *eq = std::strchr(argv[i], '=');
             if (eq == nullptr || eq == argv[i] || eq[1] == '\0')
@@ -139,6 +167,10 @@ main(int argc, char **argv)
     while (!g_stop && !server.waitFor(200)) {
     }
     server.stop();
+    if (!metrics_json.empty() &&
+        !obs::writeMetricsJson(metrics_json))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     metrics_json.c_str());
     std::printf("atcserved: clean shutdown\n");
     return 0;
 }

@@ -13,6 +13,10 @@
  *   c           lossless compression
  *   k           lossy compression (default, as in the paper's example)
  *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
+ *   --metrics-json PATH
+ *               after closing the container, dump the obs registry
+ *               snapshot (pipeline stage timings, I/O and pool
+ *               counters) to PATH as JSON (see docs/metrics.md)
  *
  * Example (paper Figure 8):
  *   cat /dev/urandom | head -c 800000000 | bin2atc -j 8 foobar
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "atc/atc.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
 
 namespace {
@@ -33,8 +38,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [-j N] [--container-version V] <dirname> "
-                 "[c|k] [codec-spec]\n",
+                 "usage: %s [-j N] [--container-version V] "
+                 "[--metrics-json PATH] <dirname> [c|k] [codec-spec]\n",
                  argv0);
     return 2;
 }
@@ -67,9 +72,14 @@ main(int argc, char **argv)
 
     size_t threads = 1;
     long container_version = atc::core::kContainerVersion;
+    std::string metrics_json;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--container-version") == 0) {
+        if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--container-version") == 0) {
             if (i + 1 >= argc)
                 return usage(argv[0]);
             char *end = nullptr;
@@ -155,5 +165,10 @@ main(int argc, char **argv)
     std::fprintf(stderr, "%llu values compressed into %s (%zu thread%s)\n",
                  static_cast<unsigned long long>(count), positional[0],
                  threads, threads == 1 ? "" : "s");
+    if (!metrics_json.empty() && !obs::writeMetricsJson(metrics_json)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_json.c_str());
+        return 1;
+    }
     return 0;
 }

@@ -16,6 +16,9 @@
  *   --container-version V
  *              container format to write (default 3; v3's seekable
  *              frames enable block-parallel lossless decode)
+ *   --metrics-json PATH
+ *              before exiting, dump the obs registry snapshot (stage
+ *              timings over the whole run) to PATH as JSON
  *   benchmark  suite entry name (default 429.mcf)
  *   addresses  filtered trace length (default 1000000)
  */
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "atc/atc.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/stats.hpp"
@@ -80,9 +84,16 @@ main(int argc, char **argv)
 
     size_t threads = 1;
     long container_version = core::kContainerVersion;
+    std::string metrics_json;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "-j") == 0 ||
+        if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--metrics-json needs a path\n");
+                return 2;
+            }
+            metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "-j") == 0 ||
             std::strcmp(argv[i], "--threads") == 0) {
             if (i + 1 < argc)
                 threads = std::strtoull(argv[++i], nullptr, 10);
@@ -213,6 +224,11 @@ main(int argc, char **argv)
                     "addresses, %llu bytes\n",
                     static_cast<unsigned long long>(writer.count()),
                     static_cast<unsigned long long>(store.totalBytes()));
+    }
+    if (!metrics_json.empty() && !obs::writeMetricsJson(metrics_json)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_json.c_str());
+        return 1;
     }
     return 0;
 }

@@ -45,7 +45,36 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace atc::core {
+
+namespace detail {
+
+// Process-wide cache counters on the obs registry, aggregated over
+// every BlockCache instance (both element types). Per-instance
+// figures remain available through stats().
+struct CacheObsMetrics {
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &insertions;
+    obs::Counter &evictions;
+};
+
+inline CacheObsMetrics &
+cacheObsMetrics()
+{
+    auto &r = obs::Registry::global();
+    static CacheObsMetrics m{
+        r.counter("cache.hits"),
+        r.counter("cache.misses"),
+        r.counter("cache.insertions"),
+        r.counter("cache.evictions"),
+    };
+    return m;
+}
+
+}  // namespace detail
 
 /** Default budget of the shared decoded-block cache (see AtcIndex):
  *  large enough to retain a few paper-scale lossy chunks (80 MB at
@@ -109,9 +138,11 @@ class BlockCache
         auto it = shard.map.find(key);
         if (it == shard.map.end()) {
             ++shard.misses;
+            detail::cacheObsMetrics().misses.inc();
             return nullptr;
         }
         ++shard.hits;
+        detail::cacheObsMetrics().hits.inc();
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return it->second->block;
     }
@@ -144,6 +175,7 @@ class BlockCache
         shard.bytes += bytes;
         total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
         ++shard.insertions;
+        detail::cacheObsMetrics().insertions.inc();
         // Evict cold entries, but never the one just inserted: a
         // shard budget below one block still caches its hot block.
         while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
@@ -154,6 +186,7 @@ class BlockCache
             shard.map.erase(victim.key);
             shard.lru.pop_back();
             ++shard.evictions;
+            detail::cacheObsMetrics().evictions.inc();
         }
         // The keep-newest exception holds only while the cache as a
         // whole still fits: when this shard is over its share AND the
@@ -169,6 +202,7 @@ class BlockCache
             shard.map.erase(front.key);
             shard.lru.pop_front();
             ++shard.evictions;
+            detail::cacheObsMetrics().evictions.inc();
             return keep;
         }
         return shard.lru.front().block;

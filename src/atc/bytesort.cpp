@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace atc::core {
@@ -150,27 +151,62 @@ TransformEncoder::write(const uint64_t *addrs, size_t n)
     }
 }
 
+namespace {
+
+// Pure transform compute time, excluding the nested sink writes /
+// source reads (those land in codec and io metrics — timing the whole
+// body here would double-count them).
+struct TransformMetrics {
+    obs::Counter &encode_us;
+    obs::Counter &decode_us;
+    obs::Counter &encode_buffers;
+    obs::Counter &decode_buffers;
+};
+
+TransformMetrics &
+transformMetrics()
+{
+    auto &r = obs::Registry::global();
+    static TransformMetrics m{
+        r.counter("atc.transform.encode_us"),
+        r.counter("atc.transform.decode_us"),
+        r.counter("atc.transform.encode_buffers"),
+        r.counter("atc.transform.decode_buffers"),
+    };
+    return m;
+}
+
+}  // namespace
+
 void
 TransformEncoder::emitBuffer()
 {
+    TransformMetrics &m = transformMetrics();
+    m.encode_buffers.inc();
     size_t n = buffer_.size();
     util::writeVarint(out_, n);
     switch (transform_) {
       case Transform::None:
+        // No transform: the LE serialization loop is I/O, not compute.
         for (uint64_t a : buffer_)
             util::writeLE<uint64_t>(out_, a);
         break;
       case Transform::Unshuffle: {
+          obs::StageTimer t(m.encode_us);
           std::vector<uint8_t> planes = unshuffleForward(buffer_.data(), n);
+          t.stop();
           out_.write(planes.data(), planes.size());
           break;
       }
       case Transform::Bytesort: {
+          obs::StageTimer t(m.encode_us);
           std::vector<uint8_t> planes = bytesortForward(buffer_.data(), n);
+          t.stop();
           out_.write(planes.data(), planes.size());
           break;
       }
       case Transform::Delta: {
+          obs::StageTimer t(m.encode_us);
           std::vector<uint64_t> deltas(n);
           uint64_t prev = 0;
           for (size_t i = 0; i < n; ++i) {
@@ -178,6 +214,7 @@ TransformEncoder::emitBuffer()
               prev = buffer_[i];
           }
           std::vector<uint8_t> planes = unshuffleForward(deltas.data(), n);
+          t.stop();
           out_.write(planes.data(), planes.size());
           break;
       }
@@ -225,6 +262,8 @@ TransformDecoder::refill()
         return false;
     }
 
+    TransformMetrics &m = transformMetrics();
+    m.decode_buffers.inc();
     if (transform_ == Transform::None) {
         buffer_.resize(n);
         for (uint64_t &a : buffer_)
@@ -232,6 +271,7 @@ TransformDecoder::refill()
     } else {
         std::vector<uint8_t> planes(8 * n);
         in_.readExact(planes.data(), planes.size());
+        obs::StageTimer t(m.decode_us);
         switch (transform_) {
           case Transform::Unshuffle:
             buffer_ = unshuffleInverse(planes.data(), n);

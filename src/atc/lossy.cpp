@@ -3,9 +3,41 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace atc::core {
+
+namespace {
+
+// The signature+decision stage runs on the writer's caller thread
+// even when chunk compression is pooled — the ROADMAP's suspected
+// serial bottleneck. These counters make that fraction measurable.
+struct LossyMetrics {
+    obs::Counter &signature_us;
+    obs::Counter &decision_us;
+    obs::Counter &chunk_compress_us;
+    obs::Counter &chunk_decode_us;
+    obs::Counter &chunks;
+    obs::Counter &imitations;
+};
+
+LossyMetrics &
+lossyMetrics()
+{
+    auto &r = obs::Registry::global();
+    static LossyMetrics m{
+        r.counter("lossy.signature_us"),
+        r.counter("lossy.decision_us"),
+        r.counter("lossy.chunk_compress_us"),
+        r.counter("lossy.chunk_decode_us"),
+        r.counter("lossy.chunks"),
+        r.counter("lossy.imitations"),
+    };
+    return m;
+}
+
+}  // namespace
 
 LossyEncoder::LossyEncoder(const LossyParams &params, ChunkStore &store,
                            ChunkFn chunk_fn)
@@ -40,12 +72,16 @@ LossyEncoder::emitChunk(const IntervalSignature &sig)
     uint64_t length = buffer_.size();
     bool full = buffer_.size() == params_.interval_len;
 
+    lossyMetrics().chunks.inc();
     if (chunk_fn_) {
+        // Pooled path: the parallel writer times the compression
+        // inside its task, where it actually runs.
         std::vector<uint64_t> payload = std::move(buffer_);
         buffer_ = std::vector<uint64_t>();
         buffer_.reserve(params_.interval_len);
         chunk_fn_(id, std::move(payload));
     } else {
+        obs::StageTimer t(lossyMetrics().chunk_compress_us);
         auto sink = store_.createChunk(id);
         LosslessWriter writer(params_.chunk_params, *sink);
         writer.write(buffer_.data(), buffer_.size());
@@ -69,14 +105,18 @@ LossyEncoder::emitChunk(const IntervalSignature &sig)
 void
 LossyEncoder::processInterval()
 {
+    LossyMetrics &m = lossyMetrics();
+    obs::StageTimer sig_t(m.signature_us);
     IntervalSignature sig =
         IntervalSignature::from(computeHistograms(buffer_.data(),
                                                   buffer_.size()));
+    sig_t.stop();
 
     // Only full intervals may imitate: a shorter final interval has a
     // different temporal extent and is always stored exactly.
     bool full = buffer_.size() == params_.interval_len;
 
+    obs::StageTimer dec_t(m.decision_us);
     const TableEntry *best = nullptr;
     double best_d = 0.0;
     if (full) {
@@ -96,9 +136,12 @@ LossyEncoder::processInterval()
         rec.length = buffer_.size();
         if (params_.translate)
             rec.trans = makeTranslation(best->sig, sig, params_.epsilon);
+        dec_t.stop();
         records_.push_back(std::move(rec));
         ++stats_.imitated;
+        m.imitations.inc();
     } else {
+        dec_t.stop();
         emitChunk(sig);
     }
 
@@ -120,6 +163,7 @@ std::vector<uint64_t>
 decodeChunkPayload(const LosslessParams &params, ChunkStore &store,
                    uint32_t id)
 {
+    obs::StageTimer t(lossyMetrics().chunk_decode_us);
     auto src = store.openChunk(id);
     LosslessReader reader(params, *src);
     std::vector<uint64_t> addrs;

@@ -4,27 +4,69 @@
 #include "compress/huffman.hpp"
 #include "compress/mtf.hpp"
 #include "compress/rle.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitio.hpp"
 #include "util/crc32.hpp"
 
 namespace atc::comp {
 
+namespace {
+
+// Stage-split codec accounting: aggregate micros per pipeline stage,
+// both directions. Handles cached once; hot loops pay one relaxed
+// add per block per stage.
+struct CodecStageMetrics {
+    obs::Counter &bwt_us;
+    obs::Counter &mtf_rle_us;
+    obs::Counter &entropy_us;
+};
+
+CodecStageMetrics &
+encodeStages()
+{
+    static CodecStageMetrics m{
+        obs::Registry::global().counter("codec.encode.bwt_us"),
+        obs::Registry::global().counter("codec.encode.mtf_rle_us"),
+        obs::Registry::global().counter("codec.encode.entropy_us"),
+    };
+    return m;
+}
+
+CodecStageMetrics &
+decodeStages()
+{
+    static CodecStageMetrics m{
+        obs::Registry::global().counter("codec.decode.bwt_us"),
+        obs::Registry::global().counter("codec.decode.mtf_rle_us"),
+        obs::Registry::global().counter("codec.decode.entropy_us"),
+    };
+    return m;
+}
+
+}  // namespace
+
 void
 BwcCodec::compressBlock(const uint8_t *data, size_t n,
                         util::ByteSink &out) const
 {
+    CodecStageMetrics &m = encodeStages();
     util::writeLE<uint32_t>(out, util::crc32(data, n));
 
+    obs::StageTimer bwt_t(m.bwt_us);
     BwtResult bwt = bwtForward(data, n);
+    bwt_t.stop();
     util::writeVarint(out, bwt.primary);
 
+    obs::StageTimer mtf_t(m.mtf_rle_us);
     std::vector<uint8_t> mtf = mtfEncode(bwt.data.data(), bwt.data.size());
     bwt.data.clear();
     bwt.data.shrink_to_fit();
     std::vector<uint16_t> symbols = rleEncode(mtf.data(), mtf.size());
     mtf.clear();
     mtf.shrink_to_fit();
+    mtf_t.stop();
 
+    obs::StageTimer entropy_t(m.entropy_us);
     std::vector<uint64_t> freq(kRleAlphabet, 0);
     for (uint16_t s : symbols)
         freq[s]++;
@@ -41,9 +83,11 @@ void
 BwcCodec::decompressBlock(util::ByteSource &in, size_t raw_size,
                           std::vector<uint8_t> &out) const
 {
+    CodecStageMetrics &m = decodeStages();
     uint32_t crc = util::readLE<uint32_t>(in);
     uint64_t primary = util::readVarint(in);
 
+    obs::StageTimer entropy_t(m.entropy_us);
     util::BitReader br(in);
     HuffmanDecoder dec = HuffmanDecoder::readTable(br, kRleAlphabet);
 
@@ -56,12 +100,18 @@ BwcCodec::decompressBlock(util::ByteSource &in, size_t raw_size,
             break;
     }
     br.align();
+    entropy_t.stop();
 
+    obs::StageTimer mtf_t(m.mtf_rle_us);
     std::vector<uint8_t> mtf = rleDecode(symbols);
     ATC_CHECK(mtf.size() == raw_size, "BWC block size mismatch");
     std::vector<uint8_t> bwt = mtfDecode(mtf.data(), mtf.size());
+    mtf_t.stop();
+
+    obs::StageTimer bwt_t(m.bwt_us);
     out = bwtInverse(bwt.data(), bwt.size(),
                      static_cast<uint32_t>(primary));
+    bwt_t.stop();
     ATC_CHECK(util::crc32(out.data(), out.size()) == crc,
               "BWC block CRC mismatch");
 }

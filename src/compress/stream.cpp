@@ -3,11 +3,48 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace atc::comp {
 
 namespace {
+
+// Whole-frame accounting (frames/bytes counters + per-frame latency
+// histogram), one set per direction. The per-stage split (BWT vs
+// MTF+RLE vs entropy) lives inside BwcCodec itself.
+struct FrameMetrics {
+    obs::Counter &frames;
+    obs::Counter &raw_bytes;
+    obs::Counter &comp_bytes;
+    obs::Histogram &frame_us;
+};
+
+FrameMetrics &
+encodeFrameMetrics()
+{
+    auto &r = obs::Registry::global();
+    static FrameMetrics m{
+        r.counter("codec.encode.frames"),
+        r.counter("codec.encode.raw_bytes"),
+        r.counter("codec.encode.comp_bytes"),
+        r.histogram("codec.encode.frame_us"),
+    };
+    return m;
+}
+
+FrameMetrics &
+decodeFrameMetrics()
+{
+    auto &r = obs::Registry::global();
+    static FrameMetrics m{
+        r.counter("codec.decode.frames"),
+        r.counter("codec.decode.raw_bytes"),
+        r.counter("codec.decode.comp_bytes"),
+        r.histogram("codec.decode.frame_us"),
+    };
+    return m;
+}
 
 /** Largest credible decompressed frame (far above any block size). */
 constexpr uint64_t kMaxFrameRawSize = uint64_t(1) << 30;
@@ -31,6 +68,8 @@ std::vector<uint8_t>
 encodeFrame(const Codec &codec, const uint8_t *data, size_t n,
             FrameFormat format, FrameIndexEntry *entry)
 {
+    FrameMetrics &m = encodeFrameMetrics();
+    obs::LatencyTimer frame_t(m.frame_us);
     std::vector<uint8_t> out;
     util::VectorSink sink(out);
     if (format == FrameFormat::Legacy) {
@@ -39,6 +78,10 @@ encodeFrame(const Codec &codec, const uint8_t *data, size_t n,
         codec.compressBlock(data, n, sink);
         if (entry != nullptr)
             *entry = {n, out.size() - header};
+        frame_t.stop();
+        m.frames.inc();
+        m.raw_bytes.add(static_cast<int64_t>(n));
+        m.comp_bytes.add(static_cast<int64_t>(out.size() - header));
         return out;
     }
     // Seekable: the compressed length goes into the header, so the
@@ -51,6 +94,10 @@ encodeFrame(const Codec &codec, const uint8_t *data, size_t n,
     sink.write(payload.data(), payload.size());
     if (entry != nullptr)
         *entry = {n, payload.size()};
+    frame_t.stop();
+    m.frames.inc();
+    m.raw_bytes.add(static_cast<int64_t>(n));
+    m.comp_bytes.add(static_cast<int64_t>(payload.size()));
     return out;
 }
 
@@ -97,6 +144,8 @@ decodeSeekableFrame(const Codec &codec, const uint8_t *comp,
                     size_t comp_size, size_t raw_size,
                     std::vector<uint8_t> &out)
 {
+    FrameMetrics &m = decodeFrameMetrics();
+    obs::LatencyTimer frame_t(m.frame_us);
     // Decode from the declared extent only: a codec trying to consume
     // past it sees end-of-source, and leftover bytes are a mismatch.
     util::MemorySource frame_src(comp, comp_size);
@@ -111,6 +160,10 @@ decodeSeekableFrame(const Codec &codec, const uint8_t *comp,
     ATC_CHECK(out.size() == raw_size, "frame size mismatch");
     ATC_CHECK(frame_src.remaining() == 0,
               "frame compressed-length mismatch (corrupt container)");
+    frame_t.stop();
+    m.frames.inc();
+    m.raw_bytes.add(static_cast<int64_t>(raw_size));
+    m.comp_bytes.add(static_cast<int64_t>(comp_size));
 }
 
 void
@@ -254,8 +307,12 @@ StreamCompressor::write(const uint8_t *data, size_t n)
 void
 StreamCompressor::emitBlock()
 {
+    FrameMetrics &m = encodeFrameMetrics();
+    obs::LatencyTimer frame_t(m.frame_us);
     if (format_ == FrameFormat::Legacy) {
-        // Direct write — no frame-sized staging buffer on the hot path.
+        // Direct write — no frame-sized staging buffer on the hot
+        // path. (comp_bytes is not tracked here: the codec writes
+        // straight into the sink, which need not be seekable.)
         util::writeVarint(sink_, buffer_.size() + 1);
         codec_.compressBlock(buffer_.data(), buffer_.size(), sink_);
     } else {
@@ -272,7 +329,11 @@ StreamCompressor::emitBlock()
         util::writeVarint(sink_, payload.size());
         sink_.write(payload.data(), payload.size());
         index_.push_back({buffer_.size(), payload.size()});
+        m.comp_bytes.add(static_cast<int64_t>(payload.size()));
     }
+    frame_t.stop();
+    m.frames.inc();
+    m.raw_bytes.add(static_cast<int64_t>(buffer_.size()));
     buffer_.clear();
 }
 
@@ -350,7 +411,15 @@ StreamDecompressor::refill()
     }
 
     size_t raw_size = static_cast<size_t>(header - 1);
-    codec_.decompressBlock(src_, raw_size, block_);
+    FrameMetrics &m = decodeFrameMetrics();
+    {
+        // Legacy frames carry no compressed length, so only frames,
+        // raw bytes, and latency are tracked on this path.
+        obs::LatencyTimer frame_t(m.frame_us);
+        codec_.decompressBlock(src_, raw_size, block_);
+    }
+    m.frames.inc();
+    m.raw_bytes.add(static_cast<int64_t>(raw_size));
     ATC_CHECK(block_.size() == raw_size, "frame size mismatch");
     crc_.update(block_.data(), block_.size());
     pos_ = 0;

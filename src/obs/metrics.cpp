@@ -1,0 +1,261 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace atc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+
+size_t
+threadSlot()
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+}  // namespace detail
+
+size_t
+Histogram::bucketOf(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return static_cast<size_t>(std::bit_width(v));  // 1..64
+}
+
+uint64_t
+Histogram::bucketLow(size_t b)
+{
+    if (b == 0)
+        return 0;
+    return uint64_t{1} << (b - 1);
+}
+
+uint64_t
+HistogramValue::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * double(count - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen > rank)
+            return Histogram::bucketLow(b);
+    }
+    return Histogram::bucketLow(buckets.empty() ? 0
+                                                : buckets.size() - 1);
+}
+
+int64_t
+Snapshot::value(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it != counters.end())
+        return it->second;
+    auto git = gauges.find(name);
+    if (git != gauges.end())
+        return git->second;
+    return 0;
+}
+
+int64_t
+Snapshot::histSum(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    return it == histograms.end() ? 0 : it->second.sum;
+}
+
+uint64_t
+Snapshot::histCount(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    return it == histograms.end() ? 0 : it->second.count;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *g = new Registry();  // intentionally leaked:
+    return *g;  // instrumented statics may record during exit
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_names_.find(name);
+    if (it != counter_names_.end())
+        return *it->second;
+    counters_.push_back(std::make_unique<Counter>());
+    Counter &c = *counters_.back();
+    counter_names_.emplace(name, &c);
+    return c;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauge_names_.find(name);
+    if (it != gauge_names_.end())
+        return *it->second;
+    gauges_.push_back(std::make_unique<Gauge>());
+    Gauge &g = *gauges_.back();
+    gauge_names_.emplace(name, &g);
+    return g;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hist_names_.find(name);
+    if (it != hist_names_.end())
+        return *it->second;
+    hists_.push_back(std::make_unique<Histogram>());
+    Histogram &h = *hists_.back();
+    hist_names_.emplace(name, &h);
+    return h;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    if (!enabled())
+        return snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counter_names_)
+        snap.counters.emplace(name, c->value());
+    for (const auto &[name, g] : gauge_names_)
+        snap.gauges.emplace(name, g->value());
+    for (const auto &[name, h] : hist_names_) {
+        HistogramValue hv;
+        hv.buckets.assign(Histogram::kBuckets, 0);
+        for (const auto &shard : h->shards_) {
+            hv.count += shard.count.load(std::memory_order_relaxed);
+            hv.sum += shard.sum.load(std::memory_order_relaxed);
+            for (size_t b = 0; b < Histogram::kBuckets; ++b)
+                hv.buckets[b] +=
+                    shard.buckets[b].load(std::memory_order_relaxed);
+        }
+        snap.histograms.emplace(name, std::move(hv));
+    }
+    return snap;
+}
+
+namespace {
+
+/// Flatten a snapshot into sorted `key -> value` pairs — the single
+/// source of truth for both the text and JSON encodings.
+std::map<std::string, int64_t>
+flatten(const Snapshot &snap)
+{
+    std::map<std::string, int64_t> flat;
+    for (const auto &[name, v] : snap.counters)
+        flat[name] = v;
+    for (const auto &[name, v] : snap.gauges)
+        flat[name] = v;
+    for (const auto &[name, hv] : snap.histograms) {
+        flat[name + ".count"] = static_cast<int64_t>(hv.count);
+        flat[name + ".sum"] = hv.sum;
+        for (size_t b = 0; b < hv.buckets.size(); ++b) {
+            if (hv.buckets[b] == 0)
+                continue;
+            flat[name + ".bucket" + std::to_string(b)] =
+                static_cast<int64_t>(hv.buckets[b]);
+        }
+    }
+    return flat;
+}
+
+}  // namespace
+
+std::string
+snapshotToText(const Snapshot &snap)
+{
+    std::string out = "atc_metrics 1\n";
+    char line[160];
+    for (const auto &[key, value] : flatten(snap)) {
+        std::snprintf(line, sizeof(line), "%s %" PRId64 "\n",
+                      key.c_str(), value);
+        out += line;
+    }
+    return out;
+}
+
+bool
+parseMetricsText(const std::string &text,
+                 std::map<std::string, int64_t> &out)
+{
+    out.clear();
+    size_t pos = 0;
+    bool saw_header = false;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, eol == std::string::npos ? std::string::npos
+                                          : eol - pos);
+        pos = eol == std::string::npos ? text.size() : eol + 1;
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            if (line != "atc_metrics 1")
+                return false;
+            saw_header = true;
+            continue;
+        }
+        size_t sp = line.find(' ');
+        if (sp == std::string::npos || sp == 0)
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        long long v = std::strtoll(line.c_str() + sp + 1, &end, 10);
+        if (errno != 0 || end == line.c_str() + sp + 1 ||
+            *end != '\0')
+            return false;
+        out[line.substr(0, sp)] = static_cast<int64_t>(v);
+    }
+    return saw_header;
+}
+
+std::string
+snapshotToJson(const Snapshot &snap)
+{
+    std::string out = "{\n  \"atc_metrics\": 1";
+    char line[160];
+    for (const auto &[key, value] : flatten(snap)) {
+        std::snprintf(line, sizeof(line), ",\n  \"%s\": %" PRId64,
+                      key.c_str(), value);
+        out += line;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+writeMetricsJson(const std::string &path)
+{
+    std::string json = snapshotToJson(Registry::global().snapshot());
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool closed = std::fclose(f) == 0;
+    return written == json.size() && closed;
+}
+
+}  // namespace atc::obs

@@ -21,9 +21,34 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace atc::parallel {
+
+namespace detail {
+
+// Blocked-wait histograms, shared by every Channel<T> instantiation.
+// The uncontended fast path never reads a clock: time is taken only
+// when the wait predicate is already unsatisfied under the lock, i.e.
+// the caller is about to block regardless.
+inline obs::Histogram &
+channelPushWaitHist()
+{
+    static obs::Histogram &h =
+        obs::Registry::global().histogram("channel.push_wait_us");
+    return h;
+}
+
+inline obs::Histogram &
+channelPopWaitHist()
+{
+    static obs::Histogram &h =
+        obs::Registry::global().histogram("channel.pop_wait_us");
+    return h;
+}
+
+}  // namespace detail
 
 /** Fixed-capacity multi-producer multi-consumer queue. */
 template <typename T>
@@ -47,9 +72,12 @@ class Channel
     push(T item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [this] {
-            return closed_ || queue_.size() < capacity_;
-        });
+        if (!closed_ && queue_.size() >= capacity_) {
+            obs::LatencyTimer wait_t(detail::channelPushWaitHist());
+            not_full_.wait(lock, [this] {
+                return closed_ || queue_.size() < capacity_;
+            });
+        }
         if (closed_)
             return false;
         queue_.push_back(std::move(item));
@@ -67,9 +95,12 @@ class Channel
     pop(T &out)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [this] {
-            return closed_ || !queue_.empty();
-        });
+        if (!closed_ && queue_.empty()) {
+            obs::LatencyTimer wait_t(detail::channelPopWaitHist());
+            not_empty_.wait(lock, [this] {
+                return closed_ || !queue_.empty();
+            });
+        }
         if (queue_.empty())
             return false;
         out = std::move(queue_.front());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "atc/info.hpp"
+#include "obs/metrics.hpp"
 
 namespace atc::parallel {
 
@@ -197,6 +198,13 @@ ParallelAtcWriter::dispatchChunk(uint32_t id,
     pending_chunks_.emplace_back(
         id, pool_.async([params = options_.lossy.chunk_params,
                          payload = std::move(payload)]() {
+            // Same stage counter the serial emitChunk path uses, so
+            // lossy.chunk_compress_us is pool-vs-caller comparable
+            // against lossy.signature_us/decision_us.
+            static obs::Counter &chunk_us =
+                obs::Registry::global().counter(
+                    "lossy.chunk_compress_us");
+            obs::StageTimer t(chunk_us);
             std::vector<uint8_t> bytes;
             util::VectorSink sink(bytes);
             core::LosslessWriter writer(params, sink);

@@ -19,9 +19,24 @@ ThreadPool::ThreadPool(size_t threads, size_t queue_capacity)
     workers_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
         workers_.emplace_back([this] {
-            std::function<void()> task;
-            while (tasks_.pop(task))
-                task();
+            auto &reg = obs::Registry::global();
+            static obs::Histogram &queue_wait =
+                reg.histogram("pool.queue_wait_us");
+            static obs::Counter &busy_us =
+                reg.counter("pool.worker_busy_us");
+            static obs::Counter &tasks_run = reg.counter("pool.tasks");
+            Task task;
+            while (tasks_.pop(task)) {
+                if (task.enqueue_ns != 0) {
+                    uint64_t now = obs::nowNs();
+                    if (now != 0)
+                        queue_wait.record(
+                            (now - task.enqueue_ns) / 1000);
+                }
+                tasks_run.inc();
+                obs::StageTimer busy_t(busy_us);
+                task.fn();
+            }
         });
     }
 }
@@ -34,7 +49,7 @@ ThreadPool::~ThreadPool()
 bool
 ThreadPool::submit(std::function<void()> task)
 {
-    return tasks_.push(std::move(task));
+    return tasks_.push(Task{std::move(task), obs::nowNs()});
 }
 
 void

@@ -80,7 +80,17 @@ class ThreadPool
     void shutdown();
 
   private:
-    Channel<std::function<void()>> tasks_;
+    // Tasks carry their enqueue timestamp so the worker that dequeues
+    // one can record queue latency (pool.queue_wait_us) before running
+    // it; execution time lands in pool.worker_busy_us. Note the serve
+    // daemon's attachWorkers drain loops are single long-lived tasks,
+    // so for the daemon busy time covers the whole drain, not one
+    // request (the serve layer has its own per-request histograms).
+    struct Task {
+        std::function<void()> fn;
+        uint64_t enqueue_ns = 0;
+    };
+    Channel<Task> tasks_;
     std::vector<std::thread> workers_;
 };
 

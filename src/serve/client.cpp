@@ -81,6 +81,7 @@ ServeClient::receive(ClientResponse &out)
         out.text = resp.text();
         break;
     case Op::Stat:
+    case Op::Metrics:
         out.text = resp.text();
         break;
     case Op::Seek: {
@@ -217,6 +218,19 @@ ServeClient::statText()
 {
     Request req;
     req.op = Op::Stat;
+    req.request_id = next_id_++;
+    ClientResponse resp;
+    util::Status st = call(req, resp);
+    if (!st.ok())
+        return st;
+    return resp.text;
+}
+
+util::StatusOr<std::string>
+ServeClient::metricsText()
+{
+    Request req;
+    req.op = Op::Metrics;
     req.request_id = next_id_++;
     ClientResponse resp;
     util::Status st = call(req, resp);

@@ -92,6 +92,11 @@ class ServeClient
     /** @return the server's STAT text (key=value lines). */
     util::StatusOr<std::string> statText();
 
+    /** @return the server's METRICS text: the process-wide obs
+     *  registry snapshot (`atc_metrics 1` header + `key value` lines;
+     *  parse with obs::parseMetricsText). */
+    util::StatusOr<std::string> metricsText();
+
     /** Parse STAT text into numeric key -> value. */
     static std::map<std::string, uint64_t>
     parseStat(const std::string &text);

@@ -32,6 +32,30 @@ wireName(Wire status)
     return "unknown_status";
 }
 
+const char *
+opName(Op op)
+{
+    switch (op) {
+    case Op::Ping:
+        return "ping";
+    case Op::Open:
+        return "open";
+    case Op::Seek:
+        return "seek";
+    case Op::ReadRange:
+        return "read_range";
+    case Op::Stat:
+        return "stat";
+    case Op::Close:
+        return "close";
+    case Op::Shutdown:
+        return "shutdown";
+    case Op::Metrics:
+        return "metrics";
+    }
+    return "unknown_op";
+}
+
 uint64_t
 Request::records() const
 {
@@ -116,6 +140,7 @@ encodeRequest(const Request &req, std::vector<uint8_t> &out)
     case Op::Ping:
     case Op::Stat:
     case Op::Shutdown:
+    case Op::Metrics:
         break;
     case Op::Open:
         putU16(out, static_cast<uint16_t>(req.name.size()));
@@ -155,7 +180,7 @@ parseRequest(const uint8_t *payload, size_t n, Request &out,
         return Wire::kBadVersion;
     }
     uint8_t op_byte = payload[1];
-    if (op_byte > static_cast<uint8_t>(Op::Shutdown)) {
+    if (op_byte > static_cast<uint8_t>(Op::Metrics)) {
         err = "unknown opcode " + std::to_string(op_byte);
         return Wire::kUnknownOp;
     }
@@ -168,6 +193,7 @@ parseRequest(const uint8_t *payload, size_t n, Request &out,
     case Op::Ping:
     case Op::Stat:
     case Op::Shutdown:
+    case Op::Metrics:
         if (body_len != 0) {
             err = "unexpected body on a bodyless request";
             return Wire::kBadRequest;

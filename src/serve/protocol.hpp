@@ -56,7 +56,14 @@ enum class Op : uint8_t {
     Stat = 4,      ///< empty body -> key=value text
     Close = 5,     ///< body: u32 handle -> empty
     Shutdown = 6,  ///< empty body -> empty; server then stops
+    Metrics = 7,   ///< empty body -> obs registry text (atc_metrics 1)
 };
+
+/** Number of opcodes (for per-opcode counter arrays). */
+constexpr size_t kOpCount = static_cast<size_t>(Op::Metrics) + 1;
+
+/** @return a stable lowercase name for @p op ("ping", "read_range"). */
+const char *opName(Op op);
 
 /** Response status codes (the u16 header field of a response). */
 enum class Wire : uint16_t {
@@ -86,6 +93,11 @@ struct Request
     uint64_t end = 0;    ///< ReadRange: one past the last record
     uint32_t count = 0;  ///< Seek: records to read after seeking
     std::string name;    ///< Open: container name
+
+    /** Server-side arrival stamp (obs::nowNs() at parse time; 0 when
+     *  observability is off). Never on the wire — it exists so queue
+     *  wait and end-to-end latency can be measured per request. */
+    uint64_t arrival_ns = 0;
 
     /** @return decoded records this request will pin while in flight
      *  (the admission-control unit); 0 for cheap ops. */

@@ -1,13 +1,18 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "parallel/job_queue.hpp"
 
 namespace atc::serve {
@@ -20,6 +25,56 @@ bool
 isHeavy(Op op)
 {
     return op == Op::Seek || op == Op::ReadRange;
+}
+
+/** Request-lifecycle metrics on the process registry. Gauges move at
+ *  admission/completion frequency; histograms record micros. */
+struct ServeObs
+{
+    obs::Gauge &queue_depth;    ///< jobs admitted, not yet picked up
+    obs::Gauge &inflight;       ///< heavy requests admitted, unreleased
+    obs::Histogram &queue_wait_us; ///< parse -> worker pickup
+    obs::Histogram &decode_us;     ///< cursor seek/read inside a worker
+    obs::Histogram &write_us;      ///< socket writeFull
+};
+
+ServeObs &
+serveObs()
+{
+    auto &r = obs::Registry::global();
+    static ServeObs m{
+        r.gauge("serve.queue_depth"),
+        r.gauge("serve.inflight"),
+        r.histogram("serve.queue_wait_us"),
+        r.histogram("serve.decode_us"),
+        r.histogram("serve.write_us"),
+    };
+    return m;
+}
+
+/** Per-opcode end-to-end latency (parse -> response written). */
+obs::Histogram &
+reqHist(Op op)
+{
+    static std::array<obs::Histogram *, kOpCount> hists = [] {
+        std::array<obs::Histogram *, kOpCount> a{};
+        for (size_t i = 0; i < kOpCount; ++i)
+            a[i] = &obs::Registry::global().histogram(
+                std::string("serve.req.") +
+                opName(static_cast<Op>(i)) + "_us");
+        return a;
+    }();
+    return *hists[static_cast<size_t>(op)];
+}
+
+/** Status code of a response frame built by beginResponse (u16 at
+ *  payload offset 2, i.e. frame offset 6). */
+Wire
+frameStatus(const std::vector<uint8_t> &frame)
+{
+    if (frame.size() < 4 + kHeaderLen)
+        return Wire::kOk;
+    return static_cast<Wire>(getU16(frame.data() + 6));
 }
 
 void
@@ -45,6 +100,9 @@ struct TraceServer::Session
     explicit Session(Socket s) : sock(std::move(s)) {}
 
     Socket sock;
+
+    /** Stable session number for log lines (1-based accept order). */
+    uint64_t id = 0;
 
     /** Set once (by either side) when the connection is finished; the
      *  I/O thread sweeps flagged sessions out of the poll set. */
@@ -178,7 +236,10 @@ TraceServer::start()
     if (attached != pool_->size())
         return util::Status::error("could not park the pool workers");
 
+    start_tp_ = std::chrono::steady_clock::now();
     io_thread_ = std::thread([this] { ioLoop(); });
+    logf(LogLevel::kInfo, "listening port=%u containers=%zu threads=%zu",
+         unsigned(port_), containers_.size(), pool_->size());
     return util::Status();
 }
 
@@ -297,9 +358,12 @@ TraceServer::acceptPending()
             return; // drained the backlog
         int fd = sock.fd();
         auto session = std::make_shared<Session>(std::move(sock));
+        session->id = counters_.connections_accepted.fetch_add(
+                          1, std::memory_order_relaxed) +
+                      1;
+        logf(LogLevel::kInfo, "session=%llu accepted fd=%d",
+             static_cast<unsigned long long>(session->id), fd);
         sessions_.emplace(fd, std::move(session));
-        counters_.connections_accepted.fetch_add(
-            1, std::memory_order_relaxed);
         counters_.sessions_active.fetch_add(1,
                                             std::memory_order_relaxed);
     }
@@ -361,6 +425,10 @@ TraceServer::parseFrames(const std::shared_ptr<Session> &session)
                                     " bytes");
             counters_.protocol_errors.fetch_add(
                 1, std::memory_order_relaxed);
+            logf(LogLevel::kInfo,
+                 "session=%llu protocol_error status=too_large "
+                 "frame_len=%u",
+                 static_cast<unsigned long long>(session->id), len);
             sendFrame(*session, frame);
             session->closed.store(true);
             break;
@@ -372,12 +440,17 @@ TraceServer::parseFrames(const std::shared_ptr<Session> &session)
         Wire verdict =
             parseRequest(inbuf.data() + pos + 4, len, req, err);
         pos += 4u + len;
+        req.arrival_ns = obs::nowNs();
         if (verdict != Wire::kOk) {
             std::vector<uint8_t> frame;
             encodeErrorResponse(frame, Op::Ping, verdict,
                                 req.request_id, err);
             counters_.protocol_errors.fetch_add(
                 1, std::memory_order_relaxed);
+            logf(LogLevel::kInfo,
+                 "session=%llu protocol_error status=%s detail=\"%s\"",
+                 static_cast<unsigned long long>(session->id),
+                 wireName(verdict), err.c_str());
             sendFrame(*session, frame);
             // Unknown opcodes inside a well-formed frame are
             // survivable (forward compatibility); bad versions and
@@ -396,6 +469,10 @@ TraceServer::parseFrames(const std::shared_ptr<Session> &session)
                                 "range begin exceeds end");
             counters_.request_errors.fetch_add(
                 1, std::memory_order_relaxed);
+            logf(LogLevel::kInfo,
+                 "session=%llu op=%s status=out_of_range us=0",
+                 static_cast<unsigned long long>(session->id),
+                 opName(req.op));
             sendFrame(*session, frame);
             continue;
         }
@@ -409,6 +486,10 @@ TraceServer::parseFrames(const std::shared_ptr<Session> &session)
                     " (split the range)");
             counters_.request_errors.fetch_add(
                 1, std::memory_order_relaxed);
+            logf(LogLevel::kInfo,
+                 "session=%llu op=%s status=too_large us=0",
+                 static_cast<unsigned long long>(session->id),
+                 opName(req.op));
             sendFrame(*session, frame);
             continue;
         }
@@ -453,10 +534,15 @@ TraceServer::admitLocked(Session &session)
                 break; // global queue full; retried on next wakeup
             session.inflight += 1;
             session.inflight_records += rec;
+            counters_.inflight_heavy.fetch_add(
+                1, std::memory_order_relaxed);
+            serveObs().inflight.inc();
+            serveObs().queue_depth.inc();
         } else {
             Job job{session.shared_from_this(), req};
             if (!jobs_.tryPush(std::move(job)))
                 break;
+            serveObs().queue_depth.inc();
         }
         session.pending.pop_front();
     }
@@ -486,6 +572,8 @@ TraceServer::reapSessions()
                                             std::memory_order_relaxed);
             counters_.sessions_active.fetch_sub(
                 1, std::memory_order_relaxed);
+            logf(LogLevel::kInfo, "session=%llu disconnected",
+                 static_cast<unsigned long long>(it->second->id));
             it = sessions_.erase(it);
         } else {
             ++it;
@@ -507,6 +595,13 @@ TraceServer::handleJob(const Job &job)
 {
     Session &session = *job.session;
     const Request &req = job.req;
+    serveObs().queue_depth.dec();
+    if (req.arrival_ns != 0) {
+        uint64_t now = obs::nowNs();
+        if (now != 0)
+            serveObs().queue_wait_us.record(
+                (now - req.arrival_ns) / 1000);
+    }
     std::vector<uint8_t> frame;
     try {
         switch (req.op) {
@@ -517,6 +612,13 @@ TraceServer::handleJob(const Job &job)
         case Op::Stat: {
             beginResponse(frame, req.op, Wire::kOk, req.request_id);
             std::string text = statText();
+            frame.insert(frame.end(), text.begin(), text.end());
+            finishResponse(frame);
+            break;
+        }
+        case Op::Metrics: {
+            beginResponse(frame, req.op, Wire::kOk, req.request_id);
+            std::string text = metricsText();
             frame.insert(frame.end(), text.begin(), text.end());
             finishResponse(frame);
             break;
@@ -545,6 +647,20 @@ TraceServer::handleJob(const Job &job)
                                            std::memory_order_relaxed);
     }
     sendFrame(session, frame);
+    Wire status = frameStatus(frame);
+    uint64_t total_us = 0;
+    if (req.arrival_ns != 0) {
+        uint64_t now = obs::nowNs();
+        if (now != 0) {
+            total_us = (now - req.arrival_ns) / 1000;
+            reqHist(req.op).record(total_us);
+        }
+    }
+    logf(status == Wire::kOk ? LogLevel::kDebug : LogLevel::kInfo,
+         "session=%llu op=%s status=%s us=%llu",
+         static_cast<unsigned long long>(session.id), opName(req.op),
+         wireName(status),
+         static_cast<unsigned long long>(total_us));
     if (isHeavy(req.op))
         finishHeavy(job.session, req.records());
     else
@@ -606,6 +722,7 @@ TraceServer::executeSeek(Session &session, const Request &req,
         return;
     }
     std::lock_guard<std::mutex> lock(handle->mu);
+    obs::LatencyTimer decode_t(serveObs().decode_us);
     util::Status st = handle->cursor->seek(req.begin);
     if (!st.ok()) {
         encodeErrorResponse(frame, req.op, Wire::kOutOfRange,
@@ -619,6 +736,7 @@ TraceServer::executeSeek(Session &session, const Request &req,
     size_t n = req.count == 0
                    ? 0
                    : handle->cursor->read(records.data(), req.count);
+    decode_t.stop();
     beginResponse(frame, req.op, Wire::kOk, req.request_id);
     putU64(frame, actual);
     putU32(frame, static_cast<uint32_t>(n));
@@ -661,8 +779,10 @@ TraceServer::executeReadRange(Session &session, const Request &req,
         return;
     }
     std::vector<uint64_t> records;
+    obs::LatencyTimer decode_t(serveObs().decode_us);
     util::Status st =
         handle->cursor->readRange(req.begin, req.end, records);
+    decode_t.stop();
     if (!st.ok()) {
         encodeErrorResponse(frame, req.op, Wire::kInternal,
                             req.request_id, st.message());
@@ -706,6 +826,8 @@ void
 TraceServer::finishHeavy(const std::shared_ptr<Session> &session,
                          uint64_t records)
 {
+    counters_.inflight_heavy.fetch_sub(1, std::memory_order_relaxed);
+    serveObs().inflight.dec();
     {
         std::lock_guard<std::mutex> lock(session->adm_mu);
         session->inflight -= 1;
@@ -730,8 +852,10 @@ TraceServer::sendFrame(Session &session,
     if (session.closed.load())
         return;
     std::string err;
+    obs::LatencyTimer write_t(serveObs().write_us);
     IoResult r = session.sock.writeFull(frame.data(), frame.size(),
                                         &err, opt_.write_timeout_ms);
+    write_t.stop();
     if (r == IoResult::kOk) {
         counters_.bytes_sent.fetch_add(frame.size(),
                                        std::memory_order_relaxed);
@@ -766,6 +890,7 @@ TraceServer::stats() const
     out.requests_stat = req(Op::Stat);
     out.requests_close = req(Op::Close);
     out.requests_shutdown = req(Op::Shutdown);
+    out.requests_metrics = req(Op::Metrics);
     out.protocol_errors =
         counters_.protocol_errors.load(std::memory_order_relaxed);
     out.request_errors =
@@ -776,6 +901,14 @@ TraceServer::stats() const
         counters_.records_served.load(std::memory_order_relaxed);
     out.bytes_sent = counters_.bytes_sent.load(std::memory_order_relaxed);
     out.queue_depth = jobs_.size();
+    out.inflight_heavy =
+        counters_.inflight_heavy.load(std::memory_order_relaxed);
+    if (started_.load() &&
+        start_tp_ != std::chrono::steady_clock::time_point{})
+        out.uptime_seconds = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start_tp_)
+                .count());
     return out;
 }
 
@@ -807,6 +940,9 @@ TraceServer::statText() const
     appendStat(out, "server.requests.stat", s.requests_stat);
     appendStat(out, "server.requests.close", s.requests_close);
     appendStat(out, "server.requests.shutdown", s.requests_shutdown);
+    appendStat(out, "server.requests.metrics", s.requests_metrics);
+    appendStat(out, "server.uptime_seconds", s.uptime_seconds);
+    appendStat(out, "server.inflight_heavy", s.inflight_heavy);
     appendStat(out, "server.protocol_errors", s.protocol_errors);
     appendStat(out, "server.request_errors", s.request_errors);
     appendStat(out, "server.admission_deferred", s.admission_deferred);
@@ -834,6 +970,46 @@ TraceServer::statText() const
         appendStat(out, prefix + ".cache.entries", cs.entries);
     }
     return out;
+}
+
+std::string
+TraceServer::metricsText()
+{
+    return obs::snapshotToText(obs::Registry::global().snapshot());
+}
+
+void
+TraceServer::logf(LogLevel level, const char *fmt, ...) const
+{
+    if (static_cast<int>(opt_.log_level) < static_cast<int>(level))
+        return;
+    // Wall-clock stamp with millisecond resolution; one fputs so
+    // lines from the I/O thread and workers do not interleave.
+    auto now = std::chrono::system_clock::now();
+    std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    int millis = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000);
+    struct tm tm_utc;
+    gmtime_r(&secs, &tm_utc);
+    char line[512];
+    size_t n = std::strftime(line, sizeof(line),
+                             "[atcserved] %Y-%m-%dT%H:%M:%S", &tm_utc);
+    n += static_cast<size_t>(std::snprintf(
+        line + n, sizeof(line) - n, ".%03dZ %s ", millis,
+        level == LogLevel::kDebug ? "debug" : "info"));
+    va_list ap;
+    va_start(ap, fmt);
+    n += static_cast<size_t>(
+        std::vsnprintf(line + n, sizeof(line) - n, fmt, ap));
+    va_end(ap);
+    if (n >= sizeof(line) - 1)
+        n = sizeof(line) - 2;
+    line[n] = '\n';
+    line[n + 1] = '\0';
+    std::fputs(line, stderr);
 }
 
 std::shared_ptr<const core::AtcIndex>

@@ -71,6 +71,13 @@
 
 namespace atc::serve {
 
+/** Verbosity of the daemon's structured stderr log. */
+enum class LogLevel : int {
+    kOff = 0,   ///< silent (default)
+    kInfo = 1,  ///< session lifecycle + non-ok requests
+    kDebug = 2, ///< every request, including ok ones
+};
+
 /** Knobs of a TraceServer. */
 struct ServeOptions
 {
@@ -109,6 +116,11 @@ struct ServeOptions
     /** Bound on waiting for a client to drain its socket before the
      *  session is declared dead and disconnected. */
     int write_timeout_ms = 30'000;
+
+    /** Structured stderr logging verbosity: one line per session
+     *  lifecycle event and per non-ok request at kInfo, every request
+     *  at kDebug. */
+    LogLevel log_level = LogLevel::kOff;
 };
 
 /** Monotonic server counters (a racy but self-consistent snapshot). */
@@ -124,12 +136,17 @@ struct ServerStats
     uint64_t requests_stat = 0;
     uint64_t requests_close = 0;
     uint64_t requests_shutdown = 0;
+    uint64_t requests_metrics = 0;
     uint64_t protocol_errors = 0;
     uint64_t request_errors = 0;
     uint64_t admission_deferred = 0;
     uint64_t records_served = 0;
     uint64_t bytes_sent = 0;
     uint64_t queue_depth = 0;
+    /** Heavy requests admitted but not yet finished (gauge). */
+    uint64_t inflight_heavy = 0;
+    /** Whole seconds since start() (0 before start). */
+    uint64_t uptime_seconds = 0;
 };
 
 /** The daemon; see the file comment. */
@@ -190,6 +207,10 @@ class TraceServer
      *  plus per-container records/cache lines (see docs/protocol.md). */
     std::string statText() const;
 
+    /** @return the METRICS payload: the process-wide obs registry
+     *  snapshot in the shared `atc_metrics 1` text encoding. */
+    static std::string metricsText();
+
     /** @return the shared index serving @p name, or nullptr. */
     std::shared_ptr<const core::AtcIndex>
     containerIndex(const std::string &name) const;
@@ -249,6 +270,11 @@ class TraceServer
     void sendFrame(Session &session, const std::vector<uint8_t> &frame);
     void countRequest(Op op);
 
+    /** printf-style structured stderr log line, emitted when
+     *  opt_.log_level >= @p level (timestamped, single write). */
+    void logf(LogLevel level, const char *fmt, ...) const
+        __attribute__((format(printf, 3, 4)));
+
     ServeOptions opt_;
     uint16_t port_ = 0;
     std::vector<std::unique_ptr<Container>> containers_;
@@ -265,6 +291,9 @@ class TraceServer
     std::unique_ptr<parallel::ThreadPool> pool_;
     std::thread io_thread_;
 
+    /** Set by start(); statText() derives uptime from it. */
+    std::chrono::steady_clock::time_point start_tp_{};
+
     std::atomic<bool> started_{false};
     std::atomic<bool> stop_requested_{false};
     std::atomic<bool> stopped_{false};
@@ -277,12 +306,15 @@ class TraceServer
         std::atomic<uint64_t> connections_accepted{0};
         std::atomic<uint64_t> sessions_active{0};
         std::atomic<uint64_t> disconnects{0};
-        std::atomic<uint64_t> requests[7] = {};
+        std::atomic<uint64_t> requests[kOpCount] = {};
         std::atomic<uint64_t> protocol_errors{0};
         std::atomic<uint64_t> request_errors{0};
         std::atomic<uint64_t> admission_deferred{0};
         std::atomic<uint64_t> records_served{0};
         std::atomic<uint64_t> bytes_sent{0};
+        /** Heavy requests admitted, not yet released (per-server; the
+         *  obs serve.inflight gauge is its process-wide mirror). */
+        std::atomic<uint64_t> inflight_heavy{0};
     };
     mutable Counters counters_;
 };

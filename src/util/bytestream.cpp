@@ -3,9 +3,38 @@
 #include <cerrno>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace atc::util {
 
 namespace {
+
+// File I/O accounting. Bytes and calls are always counted (one
+// relaxed add); wall time only for transfers of at least 4 KiB — the
+// varint reader issues millions of 1-byte reads and two clock queries
+// per byte would dwarf the read itself.
+constexpr size_t kIoTimeThreshold = 4096;
+
+struct IoMetrics {
+    obs::Counter &read_bytes;
+    obs::Counter &read_calls;
+    obs::Counter &read_us;
+    obs::Counter &write_bytes;
+    obs::Counter &write_calls;
+    obs::Counter &write_us;
+};
+
+IoMetrics &
+ioMetrics()
+{
+    auto &r = obs::Registry::global();
+    static IoMetrics m{
+        r.counter("io.read_bytes"),  r.counter("io.read_calls"),
+        r.counter("io.read_us"),     r.counter("io.write_bytes"),
+        r.counter("io.write_calls"), r.counter("io.write_us"),
+    };
+    return m;
+}
 
 /**
  * EINTR-safe fread: a signal delivered mid-read (a daemon handling
@@ -137,8 +166,16 @@ void
 FileSink::write(const uint8_t *data, size_t n)
 {
     ATC_ASSERT(fp_ != nullptr);
-    if (n > 0 && fwriteRetry(data, n, fp_) != n)
+    IoMetrics &m = ioMetrics();
+    if (n >= kIoTimeThreshold) {
+        obs::StageTimer t(m.write_us);
+        if (fwriteRetry(data, n, fp_) != n)
+            raise("file write failed");
+    } else if (n > 0 && fwriteRetry(data, n, fp_) != n) {
         raise("file write failed");
+    }
+    m.write_bytes.add(static_cast<int64_t>(n));
+    m.write_calls.inc();
     written_ += n;
 }
 
@@ -175,7 +212,17 @@ size_t
 FileSource::read(uint8_t *data, size_t n)
 {
     ATC_ASSERT(fp_ != nullptr);
-    return freadRetry(data, n, fp_);
+    IoMetrics &m = ioMetrics();
+    size_t got;
+    if (n >= kIoTimeThreshold) {
+        obs::StageTimer t(m.read_us);
+        got = freadRetry(data, n, fp_);
+    } else {
+        got = freadRetry(data, n, fp_);
+    }
+    m.read_bytes.add(static_cast<int64_t>(got));
+    m.read_calls.inc();
+    return got;
 }
 
 void

@@ -25,6 +25,7 @@
 #include "atc/atc.hpp"
 #include "atc/index.hpp"
 #include "compress/codec.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -100,7 +101,7 @@ connectOrDie(const TraceServer &server)
 
 TEST(Protocol, RequestRoundTripsEveryOpcode)
 {
-    serve::Request reqs[6];
+    serve::Request reqs[7];
     reqs[0].op = Op::Ping;
     reqs[1].op = Op::Open;
     reqs[1].name = "trace-a";
@@ -115,6 +116,7 @@ TEST(Protocol, RequestRoundTripsEveryOpcode)
     reqs[4].op = Op::Close;
     reqs[4].handle = 3;
     reqs[5].op = Op::Shutdown;
+    reqs[6].op = Op::Metrics;
 
     uint32_t id = 100;
     for (serve::Request &req : reqs) {
@@ -604,6 +606,62 @@ TEST(Serve, StatExposesCountersAndCacheStats)
     core::BlockCacheStats cs = server.containerIndex("t")->cacheStats();
     EXPECT_EQ(cs.hits, stat["container.t.cache.hits"]);
     EXPECT_GE(cs.bytes, 1u);
+    server.stop();
+}
+
+TEST(Serve, MetricsOpRoundTripsTheRegistrySnapshot)
+{
+    if (!obs::kCompiledIn)
+        GTEST_SKIP() << "built with ATC_OBS_OFF";
+    auto trace = makeTrace(20'000, 29);
+    auto store =
+        writeContainer(trace, makeOptions(core::Mode::Lossless));
+
+    // kDebug also drives the structured-logging path (one stderr line
+    // per request) under the sanitizer jobs running this binary.
+    ServeOptions opt;
+    opt.log_level = serve::LogLevel::kDebug;
+    TraceServer server(opt);
+    startServer(server, store);
+    ServeClient client = connectOrDie(server);
+
+    auto remote = client.open("t");
+    ASSERT_TRUE(remote.ok());
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(
+        client.readRange(remote.value().handle, 500, 2500, out).ok());
+
+    auto text = client.metricsText();
+    ASSERT_TRUE(text.ok()) << text.status().message();
+    ASSERT_EQ(text.value().rfind("atc_metrics 1\n", 0), 0u);
+    std::map<std::string, int64_t> parsed;
+    ASSERT_TRUE(obs::parseMetricsText(text.value(), parsed));
+
+    // Round-trip parity: the wire bytes are the shared text encoding
+    // of the process registry, so re-encoding the registry now must
+    // yield a superset of the parsed keys (metrics are never removed,
+    // non-empty histogram buckets never empty again) with monotone
+    // counter values.
+    std::map<std::string, int64_t> now;
+    ASSERT_TRUE(obs::parseMetricsText(
+        obs::snapshotToText(obs::Registry::global().snapshot()), now));
+    for (const auto &[key, value] : parsed)
+        EXPECT_TRUE(now.count(key) != 0)
+            << key << " served but absent from the local registry";
+    EXPECT_GE(parsed["serve.req.read_range_us.count"], 1);
+    EXPECT_GE(parsed["serve.req.open_us.count"], 1);
+    EXPECT_GE(parsed["cache.misses"], 1);
+    EXPECT_GE(now["serve.req.read_range_us.count"],
+              parsed["serve.req.read_range_us.count"]);
+
+    // The new STAT keys ride along: the METRICS request was counted,
+    // uptime is reported, and nothing heavy is in flight by now.
+    auto stat_text = client.statText();
+    ASSERT_TRUE(stat_text.ok());
+    auto stat = ServeClient::parseStat(stat_text.value());
+    EXPECT_EQ(stat["server.requests.metrics"], 1u);
+    EXPECT_EQ(stat["server.inflight_heavy"], 0u);
+    EXPECT_EQ(stat.count("server.uptime_seconds"), 1u);
     server.stop();
 }
 
