@@ -12,9 +12,12 @@
 #ifndef ATC_BENCH_BENCH_COMMON_HPP_
 #define ATC_BENCH_BENCH_COMMON_HPP_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "atc/atc.hpp"
@@ -22,6 +25,46 @@
 #include "trace/suite.hpp"
 
 namespace atc::bench {
+
+/**
+ * The one clock every harness times with: steady_clock is monotonic,
+ * so cells are immune to NTP slews and wall-clock jumps mid-run
+ * (system_clock is not — do not "fix" this back).
+ */
+using Clock = std::chrono::steady_clock;
+
+/** @return seconds elapsed from @p a to @p b. */
+inline double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/**
+ * Best-of-k timing with a discarded warm-up run: run @p fn once
+ * untimed (first-touch page faults, pool spin-up, branch history),
+ * then @p k timed runs, keeping the minimum. Short cells — exactly
+ * what a small-N matrix sweep produces — are otherwise dominated by
+ * first-touch noise; the minimum is the standard robust estimator for
+ * "how fast can this go" (same policy as the obs_overhead gate).
+ *
+ * @param k  timed repetitions (>= 1)
+ * @param fn nullary callable; invoked k+1 times total
+ * @return best wall-clock seconds over the k timed runs
+ */
+template <typename Fn>
+inline double
+bestOfK(int k, Fn &&fn)
+{
+    fn(); // warm-up, untimed
+    double best = 1e100;
+    for (int i = 0; i < (k < 1 ? 1 : k); ++i) {
+        auto t0 = Clock::now();
+        fn();
+        best = std::min(best, seconds(t0, Clock::now()));
+    }
+    return best;
+}
 
 /** @return environment scale factor for all experiment sizes. */
 inline double

@@ -1,27 +1,43 @@
 #!/usr/bin/env python3
-"""CI regression gate for bench/parallel_throughput JSON output.
+"""CI regression gate for the bench JSON artifacts.
 
-Compares a fresh bench run against the committed bench/baseline.json
-and fails (exit 1) when decode throughput regresses by more than the
-threshold. Compression modes are reported but not gated: CI runners
-vary enough that only the decode hot path — the paper's headline
-claim — is held to a hard bound.
+Two independent gates, each optional so CI jobs can run just the one
+they produce evidence for:
 
-The obs_overhead mode carries its own absolute gate: the bench decodes
-once with metrics recording on and once with it runtime-disabled, and
-the run fails when leaving metrics on costs more than
---obs-overhead-max percent (default 3).
+* Thread-sweep gate (positional ``bench.json baseline.json``): compares
+  a fresh bench/parallel_throughput run against the committed
+  bench/baseline.json and fails (exit 1) when decode throughput
+  regresses by more than the threshold. Compression modes are reported
+  but not gated: CI runners vary enough that only the decode hot path —
+  the paper's headline claim — is held to a hard bound. The
+  obs_overhead mode carries its own absolute gate: the run fails when
+  leaving metrics on costs more than --obs-overhead-max percent.
+
+* Matrix gate (``--matrix fresh.json [--matrix-baseline base.json]``):
+  compares a fresh bench/matrix sweep against the committed
+  bench/matrix_baseline.json, cell by cell, against the gates listed in
+  the manifest. A gated cell missing from the fresh run fails, as does
+  an addresses mismatch between the two sweeps (ratios would be
+  meaningless).
+
+Which modes and cells are gated, and the default thresholds, live in
+the bench/gates.json manifest (override with --gates). Gate kinds:
+
+    min_ratio  fresh/baseline >= value  (throughput floors)
+    max_ratio  fresh/baseline <= value  (size/latency ceilings)
+    max_abs    fresh <= value           (absolute bounds, no baseline)
 
 Usage:
-    check_regression.py <bench.json> <baseline.json>
-        [--threshold 0.15] [--obs-overhead-max 3.0]
-        [--summary <markdown-file>]
+    check_regression.py [bench.json baseline.json]
+        [--matrix fresh.json] [--matrix-baseline base.json]
+        [--gates gates.json] [--threshold 0.15]
+        [--obs-overhead-max 3.0] [--summary <markdown-file>]
 
-The threshold can also be set via ATC_BENCH_REGRESSION_THRESHOLD, the
-overhead bound via ATC_OBS_OVERHEAD_MAX.
-The --summary file receives a GitHub-flavoured markdown table (append
-mode, so pointing it at $GITHUB_STEP_SUMMARY stacks a row per job and
-the perf trajectory stays visible across PRs).
+Threshold precedence: CLI flag > environment variable
+(ATC_BENCH_REGRESSION_THRESHOLD / ATC_OBS_OVERHEAD_MAX) > gates.json >
+built-in default. The --summary file receives a GitHub-flavoured
+markdown table (append mode, so pointing it at $GITHUB_STEP_SUMMARY
+stacks a row per job and the perf trajectory stays visible across PRs).
 """
 
 import argparse
@@ -29,8 +45,86 @@ import json
 import os
 import sys
 
-GATED_MODES = ("lossy_decompress", "lossless_decompress", "seek_hot",
-               "serve_latency", "obs_overhead")
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_GATES = os.path.join(HERE, "gates.json")
+DEFAULT_MATRIX_BASELINE = os.path.join(HERE, "matrix_baseline.json")
+
+DEFAULT_THRESHOLD = 0.15
+DEFAULT_OBS_OVERHEAD_MAX = 3.0
+
+GATE_KINDS = ("min_ratio", "max_ratio", "max_abs")
+
+
+class GatesError(ValueError):
+    """The gates manifest is malformed."""
+
+
+def load_gates(path):
+    """Parse and validate a gates manifest.
+
+    Returns a dict with keys ``gated_modes`` (list of str),
+    ``matrix_cells`` (list of gate dicts), and optional numeric
+    ``threshold`` / ``obs_overhead_max_pct``. Raises GatesError on any
+    structural problem — a manifest typo must fail CI loudly, not
+    silently gate nothing.
+    """
+    with open(path) as f:
+        gates = json.load(f)
+    if not isinstance(gates, dict):
+        raise GatesError("gates manifest must be a JSON object")
+
+    modes = gates.get("gated_modes", [])
+    if (not isinstance(modes, list)
+            or not all(isinstance(m, str) and m for m in modes)):
+        raise GatesError("gated_modes must be a list of mode names")
+
+    for key in ("threshold", "obs_overhead_max_pct"):
+        if key in gates and not isinstance(gates[key], (int, float)):
+            raise GatesError("%s must be a number" % key)
+    if "threshold" in gates and not 0 < gates["threshold"] < 1:
+        raise GatesError("threshold must be a fraction in (0, 1)")
+
+    cells = gates.get("matrix_cells", [])
+    if not isinstance(cells, list):
+        raise GatesError("matrix_cells must be a list")
+    for gate in cells:
+        if not isinstance(gate, dict):
+            raise GatesError("matrix_cells entries must be objects")
+        for key in ("cell", "metric", "kind", "value"):
+            if key not in gate:
+                raise GatesError(
+                    "matrix gate missing required key '%s': %r"
+                    % (key, gate))
+        if not isinstance(gate["cell"], str) or not gate["cell"]:
+            raise GatesError("matrix gate 'cell' must be a cell id")
+        if not isinstance(gate["metric"], str) or not gate["metric"]:
+            raise GatesError("matrix gate 'metric' must be a field name")
+        if gate["kind"] not in GATE_KINDS:
+            raise GatesError(
+                "matrix gate kind '%s' not one of %s"
+                % (gate["kind"], "/".join(GATE_KINDS)))
+        if (not isinstance(gate["value"], (int, float))
+                or gate["value"] <= 0):
+            raise GatesError("matrix gate 'value' must be positive")
+
+    return {
+        "gated_modes": modes,
+        "matrix_cells": cells,
+        "threshold": gates.get("threshold"),
+        "obs_overhead_max_pct": gates.get("obs_overhead_max_pct"),
+    }
+
+
+def resolve(cli_value, env_name, gates_value, default):
+    """CLI > environment > gates.json > built-in default."""
+    if cli_value is not None:
+        return cli_value
+    env = os.environ.get(env_name)
+    if env is not None:
+        return float(env)
+    if gates_value is not None:
+        return gates_value
+    return default
 
 
 def best_throughput(results, mode):
@@ -48,31 +142,9 @@ def max_thread_speedup(results, mode):
     return max(rows, key=lambda r: r["threads"])["speedup"]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench_json")
-    parser.add_argument("baseline_json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=float(os.environ.get("ATC_BENCH_REGRESSION_THRESHOLD",
-                                     "0.15")),
-        help="maximum tolerated decode-throughput regression "
-             "(fraction, default 0.15)")
-    parser.add_argument(
-        "--obs-overhead-max",
-        type=float,
-        default=float(os.environ.get("ATC_OBS_OVERHEAD_MAX", "3.0")),
-        help="maximum tolerated metrics-on decode overhead "
-             "(percent, default 3.0)")
-    parser.add_argument("--summary", help="markdown file to append to")
-    args = parser.parse_args()
-
-    with open(args.bench_json) as f:
-        bench = json.load(f)
-    with open(args.baseline_json) as f:
-        baseline = json.load(f)
-
+def check_sweep(bench, baseline, gated_modes, threshold,
+                obs_overhead_max):
+    """Thread-sweep gate. Returns (markdown lines, failure strings)."""
     lines = []
     lines.append("### Perf trajectory — `%s` (%s addresses, container v%s)"
                  % (bench.get("benchmark", "?"), bench.get("addresses", "?"),
@@ -91,18 +163,17 @@ def main():
         new = best_throughput(bench["results"], mode)
         old = best_throughput(baseline.get("results", []), mode)
         speedup = max_thread_speedup(bench["results"], mode)
-        gated = mode in GATED_MODES
+        gated = mode in gated_modes
         if old is None or old == 0:
             ratio_txt, verdict = "n/a (new mode)", "–"
         else:
             ratio = new / old
             ratio_txt = "%.2f" % ratio
-            if gated and ratio < 1.0 - args.threshold:
+            if gated and ratio < 1.0 - threshold:
                 verdict = "FAIL"
                 failures.append(
                     "%s: %.3f Maddrs/s vs baseline %.3f (ratio %.2f < "
-                    "%.2f)" % (mode, new, old, ratio,
-                               1.0 - args.threshold))
+                    "%.2f)" % (mode, new, old, ratio, 1.0 - threshold))
             else:
                 verdict = "ok" if gated else "info"
         lines.append("| %s | %.3f | %s | %s | %.2fx | %s |"
@@ -114,7 +185,7 @@ def main():
     # the bench crashed or silently dropped the mode — that must fail
     # the gate, not print "n/a" and pass.
     baseline_modes = {r["mode"] for r in baseline.get("results", [])}
-    for mode in GATED_MODES:
+    for mode in gated_modes:
         if mode in baseline_modes and mode not in modes:
             failures.append(
                 "%s: gated mode present in baseline but absent from the "
@@ -131,28 +202,191 @@ def main():
                      if "overhead_pct" in r]
     for row in overhead_rows:
         pct = row["overhead_pct"]
-        if pct > args.obs_overhead_max:
+        if pct > obs_overhead_max:
             failures.append(
                 "obs_overhead: metrics-on decode is %.2f%% slower than "
-                "metrics-off (bound %.2f%%)"
-                % (pct, args.obs_overhead_max))
+                "metrics-off (bound %.2f%%)" % (pct, obs_overhead_max))
         lines.append("")
         lines.append("Observability overhead: %.2f%% (metrics on "
                      "%.3f Maddrs/s, off %.3f Maddrs/s, bound %.1f%%)."
                      % (pct, row["maddrs_per_s"],
                         row.get("off_maddrs_per_s", 0),
-                        args.obs_overhead_max))
+                        obs_overhead_max))
 
     lines.append("")
     if failures:
         lines.append("**Decode-throughput regression beyond %d%%:**"
-                     % round(args.threshold * 100))
+                     % round(threshold * 100))
         lines.extend("- " + f for f in failures)
     else:
         lines.append("Decode throughput within %d%% of baseline."
-                     % round(args.threshold * 100))
-    report = "\n".join(lines) + "\n"
+                     % round(threshold * 100))
+    return lines, failures
 
+
+def check_matrix(fresh, baseline, gates):
+    """Matrix gate. Returns (markdown lines, failure strings)."""
+    lines = []
+    failures = []
+    lines.append("### Matrix gate — `%s` (%s addresses, %d cells)"
+                 % (fresh.get("benchmark", "?"),
+                    fresh.get("addresses", "?"),
+                    len(fresh.get("cells", []))))
+    lines.append("")
+
+    # Ratios against a baseline measured at a different trace length
+    # are meaningless — bpa and miss-ratio error are length-dependent.
+    if fresh.get("addresses") != baseline.get("addresses"):
+        failures.append(
+            "matrix: fresh run used %s addresses but baseline has %s — "
+            "regenerate the baseline (refresh-baseline workflow) or fix "
+            "the job's --addresses" % (fresh.get("addresses"),
+                                       baseline.get("addresses")))
+        lines.append("**FAIL**: addresses mismatch (fresh %s vs "
+                     "baseline %s)." % (fresh.get("addresses"),
+                                        baseline.get("addresses")))
+        return lines, failures
+
+    fresh_cells = {c["cell"]: c for c in fresh.get("cells", [])}
+    base_cells = {c["cell"]: c for c in baseline.get("cells", [])}
+
+    lines.append("| cell | metric | fresh | baseline | gate | verdict |")
+    lines.append("|---|---|---|---|---|---|")
+    for gate in gates:
+        cell_id, metric = gate["cell"], gate["metric"]
+        kind, bound = gate["kind"], gate["value"]
+        fresh_cell = fresh_cells.get(cell_id)
+        base_cell = base_cells.get(cell_id)
+
+        if fresh_cell is None or metric not in fresh_cell:
+            failures.append(
+                "matrix %s: gated metric '%s' absent from the fresh "
+                "sweep (bench crashed or dropped the cell?)"
+                % (cell_id, metric))
+            lines.append("| `%s` | %s | MISSING | – | %s %.3g | FAIL |"
+                         % (cell_id, metric, kind, bound))
+            continue
+        new = fresh_cell[metric]
+
+        if kind == "max_abs":
+            ok = new <= bound
+            if not ok:
+                failures.append(
+                    "matrix %s: %s = %.4f exceeds absolute bound %.4f"
+                    % (cell_id, metric, new, bound))
+            lines.append("| `%s` | %s | %.4f | – | %s %.3g | %s |"
+                         % (cell_id, metric, new, kind, bound,
+                            "ok" if ok else "FAIL"))
+            continue
+
+        if (base_cell is None or metric not in base_cell
+                or base_cell[metric] == 0):
+            # Ratio gates need a baseline; a brand-new gate reports
+            # info until refresh-baseline lands a value for it.
+            lines.append("| `%s` | %s | %.4f | n/a (new gate) | %s %.3g "
+                         "| – |" % (cell_id, metric, new, kind, bound))
+            continue
+        old = base_cell[metric]
+        ratio = new / old
+        if kind == "min_ratio":
+            ok = ratio >= bound
+            if not ok:
+                failures.append(
+                    "matrix %s: %s = %.4f vs baseline %.4f (ratio %.2f "
+                    "< %.2f)" % (cell_id, metric, new, old, ratio,
+                                 bound))
+        else:  # max_ratio
+            ok = ratio <= bound
+            if not ok:
+                failures.append(
+                    "matrix %s: %s = %.4f vs baseline %.4f (ratio %.2f "
+                    "> %.2f)" % (cell_id, metric, new, old, ratio,
+                                 bound))
+        lines.append("| `%s` | %s | %.4f | %.4f | %s %.3g | %s |"
+                     % (cell_id, metric, new, old, kind, bound,
+                        "ok" if ok else "FAIL"))
+
+    lines.append("")
+    if failures:
+        lines.append("**Matrix cells outside their gates:**")
+        lines.extend("- " + f for f in failures)
+    else:
+        lines.append("All %d gated matrix cells within bounds."
+                     % len(gates))
+    return lines, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("bench_json", nargs="?",
+                        help="fresh parallel_throughput JSON")
+    parser.add_argument("baseline_json", nargs="?",
+                        help="committed thread-sweep baseline")
+    parser.add_argument("--matrix",
+                        help="fresh bench/matrix sweep JSON")
+    parser.add_argument("--matrix-baseline",
+                        default=DEFAULT_MATRIX_BASELINE,
+                        help="committed matrix baseline "
+                             "(default: bench/matrix_baseline.json)")
+    parser.add_argument("--gates", default=DEFAULT_GATES,
+                        help="gates manifest (default: bench/gates.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="maximum tolerated decode-throughput regression "
+             "(fraction; overrides env and gates.json)")
+    parser.add_argument(
+        "--obs-overhead-max", type=float, default=None,
+        help="maximum tolerated metrics-on decode overhead "
+             "(percent; overrides env and gates.json)")
+    parser.add_argument("--summary", help="markdown file to append to")
+    args = parser.parse_args(argv)
+
+    if bool(args.bench_json) != bool(args.baseline_json):
+        parser.error("bench_json and baseline_json go together")
+    if not args.bench_json and not args.matrix:
+        parser.error("nothing to check: pass bench_json baseline_json "
+                     "and/or --matrix")
+
+    try:
+        gates = load_gates(args.gates)
+    except (GatesError, OSError, json.JSONDecodeError) as e:
+        print("gates manifest %s: %s" % (args.gates, e), file=sys.stderr)
+        return 2
+
+    threshold = resolve(args.threshold, "ATC_BENCH_REGRESSION_THRESHOLD",
+                        gates["threshold"], DEFAULT_THRESHOLD)
+    obs_max = resolve(args.obs_overhead_max, "ATC_OBS_OVERHEAD_MAX",
+                      gates["obs_overhead_max_pct"],
+                      DEFAULT_OBS_OVERHEAD_MAX)
+
+    lines = []
+    failures = []
+
+    if args.bench_json:
+        with open(args.bench_json) as f:
+            bench = json.load(f)
+        with open(args.baseline_json) as f:
+            baseline = json.load(f)
+        sweep_lines, sweep_failures = check_sweep(
+            bench, baseline, gates["gated_modes"], threshold, obs_max)
+        lines.extend(sweep_lines)
+        failures.extend(sweep_failures)
+
+    if args.matrix:
+        with open(args.matrix) as f:
+            fresh = json.load(f)
+        with open(args.matrix_baseline) as f:
+            matrix_baseline = json.load(f)
+        if lines:
+            lines.append("")
+        matrix_lines, matrix_failures = check_matrix(
+            fresh, matrix_baseline, gates["matrix_cells"])
+        lines.extend(matrix_lines)
+        failures.extend(matrix_failures)
+
+    report = "\n".join(lines) + "\n"
     print(report)
     if args.summary:
         with open(args.summary, "a") as f:

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Codec-evaluation matrix: sweep codec configuration x block size x
+ * corpus generator and emit one evidence row per cell.
+ *
+ * The paper evaluates ATC on SPEC-like miss traces only; this driver
+ * measures how each codec configuration behaves on the adversarial
+ * corpus (tcgen/corpus.hpp) the paper never tested — pointer chasing,
+ * GC-like phase shifts, streaming scans, and interleaved multicore
+ * merges. Per cell it reports:
+ *
+ *   - bpa                : bits per access of the container
+ *                          (deterministic given generator + seed)
+ *   - compress_maddrs    : compression throughput, Maddrs/s
+ *   - decompress_maddrs  : full-decode throughput, Maddrs/s
+ *   - seek_us            : mean seek + 256-record read latency over
+ *                          scattered offsets via AtcIndex/AtcCursor
+ *   - miss_ratio_error   : lossy cells only — worst absolute LRU
+ *                          miss-ratio drift between the original and
+ *                          regenerated trace across 1..8 ways at 64
+ *                          sets (cache::missRatioError)
+ *
+ * All timings are best-of-k with a discarded warm-up run
+ * (bench::bestOfK), so short CI-sized cells are not dominated by
+ * first-touch noise. Lossless cells are round-trip-audited off the
+ * clock; a mismatch is fatal.
+ *
+ * Output: one JSON document (--json) with a "cells" array — the CI
+ * matrix-evidence artifact, gated by bench/check_regression.py against
+ * bench/matrix_baseline.json via the bench/gates.json manifest — plus
+ * a GitHub-flavoured markdown table (--md and stdout).
+ *
+ * Usage: matrix [--addresses N] [--json PATH] [--md PATH] [--seed S]
+ *               [--best-of K] [--generators "spec;spec;..."]
+ *               [--codecs "mode:spec;..."] [--blocks "64k,256k"]
+ *   defaults: the 4-family corpus catalog x {lossless:bwc,
+ *             lossless:store, lossy:bwc} x {64k, 256k} = 24 cells,
+ *             150000 addresses, seed 1, best-of 2.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atc/index.hpp"
+#include "bench_common.hpp"
+#include "cache/stack_sim.hpp"
+#include "tcgen/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace atc;
+
+struct CodecConfig
+{
+    std::string mode;  // "lossless" | "lossy"
+    std::string codec; // codec spec, e.g. "bwc"
+};
+
+struct Cell
+{
+    std::string id;
+    std::string generator; // canonical spec
+    std::string family;
+    CodecConfig config;
+    size_t block = 0;
+    double bpa = 0;
+    double compress_maddrs = 0;
+    double decompress_maddrs = 0;
+    double seek_us = 0;
+    double miss_ratio_error = -1; // < 0: not applicable (lossless)
+};
+
+std::vector<std::string>
+splitList(const std::string &csv, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t end = csv.find(sep, start);
+        if (end == std::string::npos)
+            end = csv.size();
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+size_t
+parseSize(const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    size_t mult = 1;
+    if (end && *end) {
+        switch (*end) {
+          case 'k': case 'K': mult = 1ull << 10; break;
+          case 'm': case 'M': mult = 1ull << 20; break;
+          case 'g': case 'G': mult = 1ull << 30; break;
+          default:
+            std::fprintf(stderr, "bad size '%s'\n", text.c_str());
+            std::exit(2);
+        }
+        if (end[1] != '\0') {
+            std::fprintf(stderr, "bad size '%s'\n", text.c_str());
+            std::exit(2);
+        }
+    }
+    if (v == 0) {
+        std::fprintf(stderr, "size must be nonzero: '%s'\n", text.c_str());
+        std::exit(2);
+    }
+    return static_cast<size_t>(v * mult);
+}
+
+std::string
+familyOf(const std::string &spec)
+{
+    size_t colon = spec.find(':');
+    return colon == std::string::npos ? spec : spec.substr(0, colon);
+}
+
+core::AtcOptions
+cellOptions(const Cell &cell, size_t n)
+{
+    core::AtcOptions opt;
+    opt.pipeline.codec = cell.config.codec;
+    opt.pipeline.codec_block = cell.block;
+    if (cell.config.mode == "lossy") {
+        opt.mode = core::Mode::Lossy;
+        opt.lossy.interval_len = n / 32 + 1;
+        opt.lossy.epsilon = 0.1;
+        opt.pipeline.buffer_addrs = n / 64 + 1;
+    } else {
+        opt.mode = core::Mode::Lossless;
+        opt.pipeline.buffer_addrs = n / 8 + 1;
+    }
+    return opt;
+}
+
+std::vector<uint64_t>
+blockAddrs(const std::vector<uint64_t> &trace)
+{
+    std::vector<uint64_t> blocks;
+    blocks.reserve(trace.size());
+    for (uint64_t a : trace)
+        blocks.push_back(a >> 6);
+    return blocks;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = 150'000;
+    uint64_t seed = 1;
+    int best_of = 2;
+    std::string json_path, md_path;
+    std::vector<std::string> generators = tcg::corpusCatalog();
+    std::vector<CodecConfig> configs = {
+        {"lossless", "bwc"}, {"lossless", "store"}, {"lossy", "bwc"}};
+    std::vector<size_t> blocks = {64 * 1024, 256 * 1024};
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--addresses") == 0) {
+            n = parseSize(need("--addresses"));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = need("--json");
+        } else if (std::strcmp(argv[i], "--md") == 0) {
+            md_path = need("--md");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            seed = std::strtoull(need("--seed"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--best-of") == 0) {
+            best_of = std::atoi(need("--best-of"));
+            if (best_of < 1)
+                best_of = 1;
+        } else if (std::strcmp(argv[i], "--generators") == 0) {
+            generators = splitList(need("--generators"), ';');
+        } else if (std::strcmp(argv[i], "--blocks") == 0) {
+            blocks.clear();
+            for (const std::string &b : splitList(need("--blocks"), ','))
+                blocks.push_back(parseSize(b));
+        } else if (std::strcmp(argv[i], "--codecs") == 0) {
+            configs.clear();
+            for (const std::string &c : splitList(need("--codecs"), ';')) {
+                size_t colon = c.find(':');
+                if (colon == std::string::npos) {
+                    std::fprintf(stderr,
+                                 "--codecs entries are mode:spec, got "
+                                 "'%s'\n", c.c_str());
+                    return 2;
+                }
+                configs.push_back(
+                    {c.substr(0, colon), c.substr(colon + 1)});
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: matrix [--addresses N] [--json PATH] "
+                         "[--md PATH] [--seed S] [--best-of K] "
+                         "[--generators \"spec;...\"] "
+                         "[--codecs \"mode:spec;...\"] "
+                         "[--blocks \"64k,256k\"]\n");
+            return 2;
+        }
+    }
+    if (n < 4096) {
+        std::fprintf(stderr, "need at least 4096 addresses\n");
+        return 2;
+    }
+
+    std::vector<Cell> cells;
+    for (const std::string &gen_spec : generators) {
+        // One trace per generator, shared by every codec cell.
+        auto src = tcg::makeCorpusSource(gen_spec, n, seed);
+        if (!src.ok()) {
+            std::fprintf(stderr, "generator '%s': %s\n", gen_spec.c_str(),
+                         src.status().message().c_str());
+            return 2;
+        }
+        std::string canonical = src.value()->describe();
+        std::vector<uint64_t> trace;
+        trace.reserve(n);
+        {
+            uint64_t buf[65536];
+            size_t got;
+            while ((got = src.value()->read(buf, 65536)) != 0)
+                trace.insert(trace.end(), buf, buf + got);
+        }
+        std::fprintf(stderr, "generator %s: %zu addresses\n",
+                     canonical.c_str(), trace.size());
+
+        for (const CodecConfig &config : configs) {
+            for (size_t block : blocks) {
+                Cell cell;
+                cell.generator = canonical;
+                cell.family = familyOf(canonical);
+                cell.config = config;
+                cell.block = block;
+                cell.id = cell.family + "|" + config.mode + "-" +
+                          config.codec + "|" + std::to_string(block);
+                core::AtcOptions opt = cellOptions(cell, n);
+
+                // Compression: fresh store per run; keep the last one.
+                core::MemoryStore store;
+                double comp_s = bench::bestOfK(best_of, [&] {
+                    core::MemoryStore fresh;
+                    core::AtcWriter writer(fresh, opt);
+                    writer.write(trace.data(), trace.size());
+                    writer.close();
+                    store = std::move(fresh);
+                });
+                cell.bpa = 8.0 * double(store.totalBytes()) /
+                           double(trace.size());
+                cell.compress_maddrs = double(n) / comp_s / 1e6;
+
+                // Full decode; audited against the input off the clock.
+                std::vector<uint64_t> back(trace.size() + 1);
+                size_t got = 0;
+                double dec_s = bench::bestOfK(best_of, [&] {
+                    core::AtcReader reader(store);
+                    got = 0;
+                    size_t r;
+                    while ((r = reader.read(back.data() + got,
+                                            back.size() - got)) != 0)
+                        got += r;
+                });
+                cell.decompress_maddrs = double(n) / dec_s / 1e6;
+                back.resize(got);
+                if (got != trace.size() ||
+                    (config.mode == "lossless" && back != trace)) {
+                    std::fprintf(stderr,
+                                 "FATAL: %s round trip diverged "
+                                 "(%zu of %zu records)\n",
+                                 cell.id.c_str(), got, trace.size());
+                    return 1;
+                }
+
+                // Seek latency: scattered seek + short read pairs.
+                constexpr size_t kSeeks = 32;
+                constexpr size_t kSeekRead = 256;
+                auto index = core::AtcIndex::openOrThrow(store);
+                double seek_s = bench::bestOfK(best_of, [&] {
+                    auto cursor = index->cursor();
+                    util::Rng rng(seed ^ 0x5eed5eedull);
+                    uint64_t buf[kSeekRead];
+                    for (size_t i = 0; i < kSeeks; ++i) {
+                        uint64_t off = rng.below(n - kSeekRead);
+                        if (!cursor->seek(off).ok() ||
+                            cursor->read(buf, kSeekRead) != kSeekRead) {
+                            std::fprintf(stderr,
+                                         "FATAL: %s seek sweep failed\n",
+                                         cell.id.c_str());
+                            std::exit(1);
+                        }
+                    }
+                });
+                cell.seek_us = seek_s / double(kSeeks) * 1e6;
+
+                // Lossy fidelity: worst LRU miss-ratio drift between
+                // the original and the regenerated trace.
+                if (config.mode == "lossy")
+                    cell.miss_ratio_error = cache::missRatioError(
+                        blockAddrs(trace), blockAddrs(back), 64, 8);
+
+                std::fprintf(stderr,
+                             "  %-34s bpa %7.3f  comp %7.2f  dec %7.2f "
+                             " seek %8.1fus  mrerr %s\n",
+                             cell.id.c_str(), cell.bpa,
+                             cell.compress_maddrs, cell.decompress_maddrs,
+                             cell.seek_us,
+                             cell.miss_ratio_error < 0
+                                 ? "–"
+                                 : std::to_string(cell.miss_ratio_error)
+                                       .c_str());
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    // Markdown summary table (stdout, and --md for $GITHUB_STEP_SUMMARY).
+    std::string md;
+    md += "### Codec-evaluation matrix (" + std::to_string(n) +
+          " addresses, best-of-" + std::to_string(best_of) + ")\n\n";
+    md += "| cell | bpa | compress Maddrs/s | decompress Maddrs/s | "
+          "seek µs | miss-ratio err |\n";
+    md += "|---|---|---|---|---|---|\n";
+    char line[512];
+    for (const Cell &c : cells) {
+        std::string err = "–";
+        if (c.miss_ratio_error >= 0) {
+            std::snprintf(line, sizeof line, "%.4f", c.miss_ratio_error);
+            err = line;
+        }
+        std::snprintf(line, sizeof line,
+                      "| `%s` | %.3f | %.2f | %.2f | %.1f | %s |\n",
+                      c.id.c_str(), c.bpa, c.compress_maddrs,
+                      c.decompress_maddrs, c.seek_us, err.c_str());
+        md += line;
+    }
+    std::fputs(md.c_str(), stdout);
+    if (!md_path.empty()) {
+        std::FILE *f = std::fopen(md_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", md_path.c_str());
+            return 1;
+        }
+        std::fputs(md.c_str(), f);
+        std::fclose(f);
+    }
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"benchmark\": \"matrix\",\n"
+                     "  \"addresses\": %zu,\n  \"seed\": %llu,\n"
+                     "  \"best_of\": %d,\n  \"cells\": [\n",
+                     n, static_cast<unsigned long long>(seed), best_of);
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const Cell &c = cells[i];
+            std::fprintf(f,
+                         "    {\"cell\": \"%s\", \"generator\": \"%s\", "
+                         "\"family\": \"%s\", \"mode\": \"%s\", "
+                         "\"codec\": \"%s\", \"block\": %zu, "
+                         "\"bpa\": %.6f, \"compress_maddrs\": %.3f, "
+                         "\"decompress_maddrs\": %.3f, "
+                         "\"seek_us\": %.2f",
+                         c.id.c_str(), c.generator.c_str(),
+                         c.family.c_str(), c.config.mode.c_str(),
+                         c.config.codec.c_str(), c.block, c.bpa,
+                         c.compress_maddrs, c.decompress_maddrs,
+                         c.seek_us);
+            if (c.miss_ratio_error >= 0)
+                std::fprintf(f, ", \"miss_ratio_error\": %.6f",
+                             c.miss_ratio_error);
+            std::fprintf(f, "}%s\n", i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s (%zu cells)\n", json_path.c_str(),
+                     cells.size());
+    }
+    return 0;
+}

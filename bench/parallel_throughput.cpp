@@ -56,13 +56,10 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double
-seconds(Clock::time_point a, Clock::time_point b)
-{
-    return std::chrono::duration<double>(b - a).count();
-}
+// Monotonic timing comes from bench_common (bench::Clock,
+// bench::seconds) so every harness measures the same way.
+using atc::bench::Clock;
+using atc::bench::seconds;
 
 std::vector<size_t>
 parseThreadList(const char *csv)

@@ -15,21 +15,12 @@
  * quantify the win of span-based decompression.
  */
 
-#include <chrono>
-
 #include "bench_common.hpp"
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-seconds(Clock::time_point a, Clock::time_point b)
-{
-    return std::chrono::duration<double>(b - a).count();
-}
-
-} // namespace
+// Monotonic timing comes from bench_common (bench::Clock,
+// bench::seconds) so every harness measures the same way.
+using atc::bench::Clock;
+using atc::bench::seconds;
 
 int
 main()

@@ -19,10 +19,14 @@
  *   --metrics-json PATH
  *              before exiting, dump the obs registry snapshot (stage
  *              timings over the whole run) to PATH as JSON
- *   benchmark  suite entry name (default 429.mcf)
+ *   benchmark  suite entry name (default 429.mcf), or an adversarial
+ *              corpus spec such as "ptrchase:nodes=1m,stride=rand"
+ *              (families: gcphase, multicore, ptrchase, stream — these
+ *              are miss streams already, so the L1 filter is skipped)
  *   addresses  filtered trace length (default 1000000)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +37,7 @@
 #include "atc/atc.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
+#include "tcgen/corpus.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/stats.hpp"
 #include "trace/suite.hpp"
@@ -128,17 +133,50 @@ main(int argc, char **argv)
                        ? std::strtoull(positional[1], nullptr, 10)
                        : 1'000'000;
 
-    const trace::SyntheticBenchmark &bench = trace::benchmarkByName(name);
-    std::printf("Benchmark %s (class %s): collecting %zu cache-filtered "
-                "addresses (%zu thread%s, container v%d)\n",
-                bench.name.c_str(), bench.klass.c_str(), count, threads,
-                threads == 1 ? "" : "s", int(container_version));
-    std::printf("  filter: two 32 KB / 4-way / LRU / 64 B L1 caches "
-                "(I and D)\n");
+    // A name with a ':' or matching a corpus family is an adversarial
+    // corpus spec (same grammar bench/matrix sweeps); anything else is
+    // a suite benchmark run through the L1 filter.
+    const auto &families = tcg::corpusFamilies();
+    bool is_corpus =
+        name.find(':') != std::string::npos ||
+        std::find(families.begin(), families.end(), name) !=
+            families.end();
 
-    // The I/D interleaving of the suite model needs its own routing, so
-    // the reference trace comes from the suite helper...
-    auto addrs = trace::collectFilteredTrace(bench, count, 1);
+    const trace::SyntheticBenchmark *bench = nullptr;
+    std::vector<uint64_t> addrs;
+    if (is_corpus) {
+        auto src = tcg::makeCorpusSource(name, count);
+        if (!src.ok()) {
+            std::fprintf(stderr, "corpus spec '%s': %s\n", name.c_str(),
+                         src.status().message().c_str());
+            return 2;
+        }
+        std::printf("Corpus %s: generating %zu addresses "
+                    "(%zu thread%s, container v%d)\n",
+                    src.value()->describe().c_str(), count, threads,
+                    threads == 1 ? "" : "s", int(container_version));
+        std::printf("  corpus generators emit miss streams directly; "
+                    "L1 filter skipped\n");
+        addrs.reserve(count);
+        uint64_t buf[4096];
+        size_t got;
+        while ((got = src.value()->read(buf, 4096)) != 0)
+            addrs.insert(addrs.end(), buf, buf + got);
+    } else {
+        bench = &trace::benchmarkByName(name);
+        std::printf("Benchmark %s (class %s): collecting %zu "
+                    "cache-filtered addresses (%zu thread%s, container "
+                    "v%d)\n",
+                    bench->name.c_str(), bench->klass.c_str(), count,
+                    threads, threads == 1 ? "" : "s",
+                    int(container_version));
+        std::printf("  filter: two 32 KB / 4-way / LRU / 64 B L1 caches "
+                    "(I and D)\n");
+
+        // The I/D interleaving of the suite model needs its own
+        // routing, so the reference trace comes from the suite helper...
+        addrs = trace::collectFilteredTrace(*bench, count, 1);
+    }
     auto stats = trace::computeStats(addrs);
     std::printf("  unique blocks: %llu (%.1f MB footprint), sequential "
                 "fraction %.2f\n",
@@ -209,14 +247,16 @@ main(int argc, char **argv)
 
     // Bonus: the same seam runs the paper's Figure 8 layout directly —
     // generator -> filter stage -> compressor, one object chain.
-    {
+    // (Suite benchmarks only: corpus generators have no raw/pre-filter
+    // form, their output already is the miss stream.)
+    if (bench) {
         core::MemoryStore store;
         core::AtcOptions opt;
         opt.mode = core::Mode::Lossless;
         opt.pipeline.buffer_addrs = count / 10;
         core::AtcWriter writer(store, opt);
         cache::FilterStage filter(writer);
-        trace::GeneratorPtr gen = bench.makeData(1);
+        trace::GeneratorPtr gen = bench->makeData(1);
         trace::GeneratorSource raw(*gen, count * 4);
         trace::pump(raw, filter);
         filter.close();

@@ -1,5 +1,7 @@
 #include "cache/stack_sim.hpp"
 
+#include <algorithm>
+
 #include "util/status.hpp"
 
 namespace atc::cache {
@@ -62,6 +64,35 @@ StackSimulator::missRatio(uint32_t ways) const
 {
     return accesses_ ? static_cast<double>(missCount(ways)) / accesses_
                      : 0.0;
+}
+
+std::vector<double>
+lruMissRatios(const std::vector<uint64_t> &block_addrs, uint32_t sets,
+              uint32_t max_ways)
+{
+    StackSimulator sim(sets, max_ways);
+    for (uint64_t addr : block_addrs)
+        sim.access(addr);
+    std::vector<double> ratios(max_ways);
+    for (uint32_t w = 1; w <= max_ways; ++w)
+        ratios[w - 1] = sim.missRatio(w);
+    return ratios;
+}
+
+double
+missRatioError(const std::vector<uint64_t> &reference,
+               const std::vector<uint64_t> &approximation, uint32_t sets,
+               uint32_t max_ways)
+{
+    std::vector<double> ref = lruMissRatios(reference, sets, max_ways);
+    std::vector<double> approx =
+        lruMissRatios(approximation, sets, max_ways);
+    double worst = 0.0;
+    for (uint32_t w = 0; w < max_ways; ++w) {
+        double d = ref[w] - approx[w];
+        worst = std::max(worst, d < 0 ? -d : d);
+    }
+    return worst;
 }
 
 } // namespace atc::cache

@@ -60,6 +60,26 @@ class StackSimulator
     uint64_t accesses_ = 0;
 };
 
+/**
+ * One-shot convenience over StackSimulator: miss ratios of an LRU
+ * cache with @p sets sets for every associativity 1..max_ways, from a
+ * single pass over @p block_addrs. Index w-1 holds the w-way ratio.
+ */
+std::vector<double> lruMissRatios(const std::vector<uint64_t> &block_addrs,
+                                  uint32_t sets, uint32_t max_ways);
+
+/**
+ * Largest absolute miss-ratio difference between two block-address
+ * traces, across associativities 1..max_ways at @p sets sets — the
+ * matrix bench's lossy-fidelity metric: simulate the original and the
+ * regenerated trace, and report how far the worst cache configuration
+ * drifts. 0.0 means the traces are indistinguishable to every
+ * simulated cache.
+ */
+double missRatioError(const std::vector<uint64_t> &reference,
+                      const std::vector<uint64_t> &approximation,
+                      uint32_t sets, uint32_t max_ways);
+
 } // namespace atc::cache
 
 #endif // ATC_CACHE_STACK_SIM_HPP_

@@ -1,0 +1,448 @@
+#include "tcgen/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "compress/codec.hpp"
+#include "util/rng.hpp"
+
+namespace atc::tcg {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+/** Reject spec keys the generator does not understand. */
+Status
+checkKeys(const comp::CodecSpec &spec,
+          std::initializer_list<const char *> known)
+{
+    for (const auto &[key, value] : spec.params) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            return Status::error("corpus spec '" + spec.name +
+                                 "': unknown parameter '" + key + "'");
+    }
+    return Status();
+}
+
+std::string
+sizeString(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * Pointer chasing: a dependent-load chain over `nodes` cache-line-sized
+ * nodes. stride=rand builds a random single-cycle permutation (the
+ * classic latency benchmark, zero spatial locality); stride=<bytes>
+ * hops a fixed distance, giving a perfectly regular chain that a delta
+ * transform should crush — the two extremes of the same access shape.
+ */
+class PtrChaseSource : public CorpusSource
+{
+  public:
+    PtrChaseSource(uint64_t nodes, uint64_t stride_bytes, bool random,
+                   uint64_t count, uint64_t seed)
+        : nodes_(nodes), stride_(stride_bytes), random_(random),
+          total_(count), remaining_(count)
+    {
+        if (random_) {
+            // Sattolo's algorithm: a uniform random single cycle, so
+            // the chain visits every node before repeating.
+            succ_.resize(nodes_);
+            std::iota(succ_.begin(), succ_.end(), 0u);
+            util::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+            for (uint64_t i = nodes_ - 1; i > 0; --i)
+                std::swap(succ_[i], succ_[rng.below(i)]);
+        }
+    }
+
+    size_t
+    read(uint64_t *out, size_t n) override
+    {
+        size_t produce = static_cast<size_t>(
+            std::min<uint64_t>(n, remaining_));
+        for (size_t i = 0; i < produce; ++i) {
+            out[i] = kBase + cur_ * kNodeBytes;
+            cur_ = random_ ? succ_[cur_]
+                           : (cur_ + stride_ / kNodeBytes) % nodes_;
+        }
+        remaining_ -= produce;
+        return produce;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "ptrchase:nodes=" + sizeString(nodes_) + ",stride=" +
+               (random_ ? "rand" : sizeString(stride_));
+    }
+
+    uint64_t count() const override { return total_; }
+
+  private:
+    static constexpr uint64_t kBase = 0x10000000ull;
+    static constexpr uint64_t kNodeBytes = 64;
+
+    uint64_t nodes_;
+    uint64_t stride_;
+    bool random_;
+    uint64_t total_;
+    uint64_t remaining_;
+    std::vector<uint64_t> succ_;
+    uint64_t cur_ = 0;
+};
+
+/**
+ * GC-like phase shifts: a mutator phase bump-allocates through a
+ * drifting nursery while randomly touching the live heap, then a
+ * collector phase sweeps the whole heap sequentially (mark/sweep
+ * scan). The abrupt alternation between a locality-rich small
+ * footprint and a full-heap scan is exactly the phase structure the
+ * lossy imitation decision has to detect — and the drifting nursery
+ * keeps the phases from ever being byte-identical.
+ */
+class GcPhaseSource : public CorpusSource
+{
+  public:
+    GcPhaseSource(uint64_t heap_bytes, uint64_t mutator_len,
+                  uint64_t collector_len, uint64_t count, uint64_t seed)
+        : heap_(heap_bytes), mutator_len_(mutator_len),
+          collector_len_(collector_len), total_(count),
+          remaining_(count),
+          rng_(seed ^ 0xda3e39cb94b95bdbull), left_(mutator_len)
+    {}
+
+    size_t
+    read(uint64_t *out, size_t n) override
+    {
+        size_t produce = static_cast<size_t>(
+            std::min<uint64_t>(n, remaining_));
+        for (size_t i = 0; i < produce; ++i) {
+            if (left_ == 0) {
+                collecting_ = !collecting_;
+                left_ = collecting_ ? collector_len_ : mutator_len_;
+                sweep_ = 0;
+            }
+            --left_;
+            if (collecting_) {
+                // Sequential full-heap sweep, one line at a time.
+                out[i] = kBase + sweep_;
+                sweep_ = (sweep_ + kLine) % heap_;
+            } else if (rng_.below(2) == 0) {
+                // Bump allocation through the drifting nursery.
+                out[i] = kBase + alloc_;
+                alloc_ = (alloc_ + kLine) % heap_;
+            } else {
+                // Random touch of a live object anywhere in the heap.
+                out[i] = kBase + (rng_.below(heap_ / kLine)) * kLine;
+            }
+        }
+        remaining_ -= produce;
+        return produce;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "gcphase:heap=" + sizeString(heap_) +
+               ",mutator=" + sizeString(mutator_len_) +
+               ",collector=" + sizeString(collector_len_);
+    }
+
+    uint64_t count() const override { return total_; }
+
+  private:
+    static constexpr uint64_t kBase = 0x40000000ull;
+    static constexpr uint64_t kLine = 64;
+
+    uint64_t heap_;
+    uint64_t mutator_len_;
+    uint64_t collector_len_;
+    uint64_t total_;
+    uint64_t remaining_;
+    util::Rng rng_;
+    bool collecting_ = false;
+    uint64_t left_;
+    uint64_t alloc_ = 0;
+    uint64_t sweep_ = 0;
+};
+
+/**
+ * Streaming scan: a strided sequential sweep over a footprint far
+ * larger than any cache, wrapping at the end. Every lap touches every
+ * address exactly once — no temporal reuse for a locality transform to
+ * exploit, but perfectly predictable deltas.
+ */
+class StreamSource : public CorpusSource
+{
+  public:
+    StreamSource(uint64_t footprint, uint64_t stride, uint64_t count)
+        : footprint_(footprint), stride_(stride), total_(count),
+          remaining_(count)
+    {}
+
+    size_t
+    read(uint64_t *out, size_t n) override
+    {
+        size_t produce = static_cast<size_t>(
+            std::min<uint64_t>(n, remaining_));
+        for (size_t i = 0; i < produce; ++i) {
+            out[i] = kBase + offset_;
+            offset_ += stride_;
+            if (offset_ >= footprint_)
+                offset_ = 0;
+        }
+        remaining_ -= produce;
+        return produce;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "stream:footprint=" + sizeString(footprint_) +
+               ",stride=" + sizeString(stride_);
+    }
+
+    uint64_t count() const override { return total_; }
+
+  private:
+    static constexpr uint64_t kBase = 0x80000000ull;
+
+    uint64_t footprint_;
+    uint64_t stride_;
+    uint64_t total_;
+    uint64_t remaining_;
+    uint64_t offset_ = 0;
+};
+
+/**
+ * Interleaved multicore trace: N per-core streams merged into one
+ * record sequence. Each core walks its own disjoint address space
+ * (kMulticoreCoreSpan apart) with a core-specific strided sweep, so
+ * the merged stream's deltas jump between spaces constantly — the
+ * interleaving ATC's per-stream address transform was never exercised
+ * on. mode=rr merges exact `burst`-sized turns round-robin; mode=bursty
+ * picks the next core uniformly at random and draws the burst length
+ * in [1, 2*burst), modelling cores that drift in and out of phase.
+ */
+class MulticoreSource : public CorpusSource
+{
+  public:
+    MulticoreSource(uint32_t cores, bool bursty, uint64_t burst,
+                    uint64_t footprint, uint64_t count, uint64_t seed)
+        : cores_(cores), bursty_(bursty), burst_(burst),
+          footprint_(footprint), total_(count), remaining_(count),
+          rng_(seed ^ 0xc2b2ae3d27d4eb4full), offsets_(cores, 0)
+    {
+        // Per-core stride: distinct odd line multiples keep the
+        // per-core streams structurally different from each other.
+        strides_.reserve(cores_);
+        for (uint32_t c = 0; c < cores_; ++c)
+            strides_.push_back(64 * (2 * c + 1));
+    }
+
+    size_t
+    read(uint64_t *out, size_t n) override
+    {
+        size_t produce = static_cast<size_t>(
+            std::min<uint64_t>(n, remaining_));
+        for (size_t i = 0; i < produce; ++i) {
+            if (left_ == 0) {
+                if (bursty_) {
+                    cur_ = static_cast<uint32_t>(rng_.below(cores_));
+                    left_ = 1 + rng_.below(2 * burst_ - 1);
+                } else {
+                    cur_ = (cur_ + 1) % cores_;
+                    left_ = burst_;
+                }
+            }
+            --left_;
+            uint64_t &off = offsets_[cur_];
+            out[i] = cur_ * kMulticoreCoreSpan + off;
+            off += strides_[cur_];
+            if (off >= footprint_)
+                off -= footprint_;
+        }
+        remaining_ -= produce;
+        return produce;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "multicore:cores=" + sizeString(cores_) + ",mode=" +
+               (bursty_ ? "bursty" : "rr") +
+               ",burst=" + sizeString(burst_) +
+               ",footprint=" + sizeString(footprint_);
+    }
+
+    uint64_t count() const override { return total_; }
+
+  private:
+    uint32_t cores_;
+    bool bursty_;
+    uint64_t burst_;
+    uint64_t footprint_;
+    uint64_t total_;
+    uint64_t remaining_;
+    util::Rng rng_;
+    std::vector<uint64_t> offsets_;
+    std::vector<uint64_t> strides_;
+    uint32_t cur_ = 0;
+    uint64_t left_ = 0; // forces a turn selection on the first record
+};
+
+StatusOr<CorpusSourcePtr>
+makePtrChase(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
+{
+    Status keys = checkKeys(spec, {"nodes", "stride"});
+    if (!keys.ok())
+        return keys;
+    auto nodes = spec.sizeParam("nodes", 1u << 16);
+    if (!nodes.ok())
+        return nodes.status();
+    if (nodes.value() < 2)
+        return Status::error("ptrchase: nodes must be >= 2");
+    bool random = true;
+    uint64_t stride = 64;
+    if (const std::string *s = spec.find("stride"); s && *s != "rand") {
+        auto parsed = spec.sizeParam("stride", 64);
+        if (!parsed.ok())
+            return parsed.status();
+        stride = parsed.value();
+        if (stride % 64 != 0)
+            return Status::error(
+                "ptrchase: stride must be 'rand' or a multiple of 64");
+        random = false;
+    }
+    return CorpusSourcePtr(std::make_unique<PtrChaseSource>(
+        nodes.value(), stride, random, count, seed));
+}
+
+StatusOr<CorpusSourcePtr>
+makeGcPhase(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
+{
+    Status keys = checkKeys(spec, {"heap", "mutator", "collector"});
+    if (!keys.ok())
+        return keys;
+    auto heap = spec.sizeParam("heap", 8u << 20);
+    auto mutator = spec.sizeParam("mutator", 1u << 16);
+    auto collector = spec.sizeParam("collector", 1u << 15);
+    for (const auto *p : {&heap, &mutator, &collector})
+        if (!p->ok())
+            return p->status();
+    if (heap.value() < 4096 || heap.value() % 64 != 0)
+        return Status::error(
+            "gcphase: heap must be a multiple of 64, >= 4096");
+    return CorpusSourcePtr(std::make_unique<GcPhaseSource>(
+        heap.value(), mutator.value(), collector.value(), count, seed));
+}
+
+StatusOr<CorpusSourcePtr>
+makeStream(const comp::CodecSpec &spec, uint64_t count, uint64_t /*seed*/)
+{
+    Status keys = checkKeys(spec, {"footprint", "stride"});
+    if (!keys.ok())
+        return keys;
+    auto footprint = spec.sizeParam("footprint", 16u << 20);
+    auto stride = spec.sizeParam("stride", 64);
+    for (const auto *p : {&footprint, &stride})
+        if (!p->ok())
+            return p->status();
+    if (stride.value() >= footprint.value())
+        return Status::error("stream: stride must be < footprint");
+    return CorpusSourcePtr(std::make_unique<StreamSource>(
+        footprint.value(), stride.value(), count));
+}
+
+StatusOr<CorpusSourcePtr>
+makeMulticore(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
+{
+    Status keys = checkKeys(spec, {"cores", "mode", "burst", "footprint"});
+    if (!keys.ok())
+        return keys;
+    auto cores = spec.sizeParam("cores", 4);
+    auto burst = spec.sizeParam("burst", 16);
+    auto footprint = spec.sizeParam("footprint", 4u << 20);
+    for (const auto *p : {&cores, &burst, &footprint})
+        if (!p->ok())
+            return p->status();
+    if (cores.value() < 2 || cores.value() > 1024)
+        return Status::error("multicore: cores must be in [2, 1024]");
+    if (footprint.value() > kMulticoreCoreSpan)
+        return Status::error("multicore: footprint exceeds the per-core "
+                             "address span");
+    bool bursty = false;
+    if (const std::string *m = spec.find("mode")) {
+        if (*m == "bursty")
+            bursty = true;
+        else if (*m != "rr")
+            return Status::error("multicore: mode must be rr or bursty");
+    }
+    return CorpusSourcePtr(std::make_unique<MulticoreSource>(
+        static_cast<uint32_t>(cores.value()), bursty, burst.value(),
+        footprint.value(), count, seed));
+}
+
+struct Family
+{
+    const char *name;
+    StatusOr<CorpusSourcePtr> (*make)(const comp::CodecSpec &, uint64_t,
+                                      uint64_t);
+};
+
+const Family kFamilies[] = {
+    {"gcphase", makeGcPhase},
+    {"multicore", makeMulticore},
+    {"ptrchase", makePtrChase},
+    {"stream", makeStream},
+};
+
+} // namespace
+
+StatusOr<CorpusSourcePtr>
+makeCorpusSource(const std::string &spec_string, uint64_t count,
+                 uint64_t seed)
+{
+    auto spec = comp::CodecSpec::parse(spec_string);
+    if (!spec.ok())
+        return spec.status();
+    for (const Family &f : kFamilies)
+        if (spec.value().name == f.name)
+            return f.make(spec.value(), count, seed);
+    return Status::error("unknown corpus generator '" +
+                         spec.value().name + "' (known: gcphase, "
+                         "multicore, ptrchase, stream)");
+}
+
+const std::vector<std::string> &
+corpusCatalog()
+{
+    static const std::vector<std::string> catalog = {
+        "ptrchase:nodes=64k,stride=rand",
+        "gcphase:heap=8m,mutator=64k,collector=32k",
+        "stream:footprint=16m,stride=64",
+        "multicore:cores=4,mode=rr,burst=16,footprint=4m",
+    };
+    return catalog;
+}
+
+std::vector<std::string>
+corpusFamilies()
+{
+    std::vector<std::string> names;
+    for (const Family &f : kFamilies)
+        names.push_back(f.name);
+    return names;
+}
+
+} // namespace atc::tcg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Adversarial/realistic trace-generator corpus for codec evaluation.
+ *
+ * The paper evaluates ATC on SPEC-like miss traces only; the corpus
+ * here deliberately covers workload shapes that evaluation never
+ * exercised, so `bench/matrix` can measure how codec x block size x
+ * lossy parameters behave *outside* the paper's comfort zone:
+ *
+ *  - ptrchase  : dependent-load chain over a permutation cycle with a
+ *                tunable footprint — the classic latency-bound pattern
+ *                with near-zero spatial locality
+ *  - gcphase   : GC-like phase shifts — bump-allocating mutator bursts
+ *                over a drifting nursery alternating with full-heap
+ *                collector sweeps, the abrupt-phase-change stressor
+ *                for the lossy imitation decision
+ *  - stream    : large sequential sweeps that defeat locality
+ *                transforms (every address is seen once per lap)
+ *  - multicore : N per-core access streams merged round-robin or in
+ *                random bursts — the interleaving ATC's address
+ *                transform was never exercised on; per-core address
+ *                spaces are disjoint so the merge is analyzable
+ *
+ * Every generator sits behind trace::TraceSource, is deterministic
+ * given (spec, count, seed), and is addressed by a parseable spec
+ * string using the codec-spec grammar, e.g.
+ * "ptrchase:nodes=1m,stride=rand". describe() returns the canonical
+ * spec with every parameter explicit, and parse(describe()) round-trips
+ * to an identical generator.
+ */
+
+#ifndef ATC_TCGEN_CORPUS_HPP_
+#define ATC_TCGEN_CORPUS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/pipeline.hpp"
+#include "util/status.hpp"
+
+namespace atc::tcg {
+
+/**
+ * A bounded, deterministic, self-describing trace source.
+ *
+ * read() produces exactly the count the source was built with, then
+ * returns 0. Two sources built from equal (spec, count, seed) produce
+ * identical streams.
+ */
+class CorpusSource : public trace::TraceSource
+{
+  public:
+    /** @return the canonical spec string (parse(describe()) == this). */
+    virtual std::string describe() const = 0;
+
+    /** @return records this source will produce in total. */
+    virtual uint64_t count() const = 0;
+};
+
+/** Owned corpus-source handle. */
+using CorpusSourcePtr = std::unique_ptr<CorpusSource>;
+
+/**
+ * Byte spacing between per-core address spaces of the `multicore`
+ * generator. Core c's addresses all lie in
+ * [c * kMulticoreCoreSpan, (c+1) * kMulticoreCoreSpan), so a consumer
+ * (or a test) can attribute every merged record to its core.
+ */
+constexpr uint64_t kMulticoreCoreSpan = 1ull << 40;
+
+/** @return the core index a multicore-generator address belongs to. */
+inline uint32_t
+multicoreCoreOf(uint64_t addr)
+{
+    return static_cast<uint32_t>(addr / kMulticoreCoreSpan);
+}
+
+/**
+ * Build a corpus generator from a spec string.
+ *
+ * Grammar is the codec-spec grammar: `name[:key=value[,key=value]...]`;
+ * size-valued parameters accept k/m/g binary suffixes. Unknown
+ * generator names, unknown keys, and out-of-range values come back as
+ * an error status naming the offender.
+ *
+ * @param spec  generator spec, e.g. "multicore:cores=4,mode=rr"
+ * @param count records the source will produce
+ * @param seed  determinism seed (same spec+count+seed => same stream)
+ */
+util::StatusOr<CorpusSourcePtr> makeCorpusSource(const std::string &spec,
+                                                 uint64_t count,
+                                                 uint64_t seed = 1);
+
+/**
+ * The default evaluation corpus: one representative spec per generator
+ * family, sized so even small-N CI sweeps produce meaningful cells.
+ */
+const std::vector<std::string> &corpusCatalog();
+
+/** @return the registered generator family names, sorted. */
+std::vector<std::string> corpusFamilies();
+
+} // namespace atc::tcg
+
+#endif // ATC_TCGEN_CORPUS_HPP_

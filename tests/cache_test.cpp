@@ -215,5 +215,45 @@ TEST(StackSimulator, StreamingHasNoReuseHits)
     EXPECT_EQ(sim.missCount(8), 10000u);
 }
 
+TEST(StackSim, LruMissRatiosMatchesSimulator)
+{
+    util::Rng rng(3);
+    std::vector<uint64_t> trace(20000);
+    for (auto &a : trace)
+        a = rng.below(4096);
+    auto ratios = cache::lruMissRatios(trace, 64, 8);
+    ASSERT_EQ(ratios.size(), 8u);
+    cache::StackSimulator sim(64, 8);
+    for (uint64_t a : trace)
+        sim.access(a);
+    for (uint32_t w = 1; w <= 8; ++w)
+        EXPECT_DOUBLE_EQ(ratios[w - 1], sim.missRatio(w));
+    // Inclusion property: more ways never miss more.
+    for (uint32_t w = 1; w < 8; ++w)
+        EXPECT_GE(ratios[w - 1], ratios[w]);
+}
+
+TEST(StackSim, MissRatioErrorZeroForIdenticalTraces)
+{
+    util::Rng rng(4);
+    std::vector<uint64_t> trace(10000);
+    for (auto &a : trace)
+        a = rng.below(2048);
+    EXPECT_EQ(cache::missRatioError(trace, trace, 64, 8), 0.0);
+}
+
+TEST(StackSim, MissRatioErrorDetectsDivergence)
+{
+    // A tight loop vs. a random scatter over the same footprint: every
+    // non-trivial cache sees wildly different miss ratios.
+    std::vector<uint64_t> loop, scatter;
+    util::Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        loop.push_back(i % 128);
+        scatter.push_back(rng.below(1u << 20));
+    }
+    EXPECT_GT(cache::missRatioError(loop, scatter, 64, 8), 0.5);
+}
+
 } // namespace
 } // namespace atc

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
+#include "atc/atc.hpp"
+#include "tcgen/corpus.hpp"
 #include "tcgen/tcgen.hpp"
 #include "trace/suite.hpp"
 #include "util/rng.hpp"
@@ -177,6 +182,227 @@ TEST(Tcgen, AlternativeCodecBackEnd)
     cfg.codec = "lzh";
     auto compressed = tcg::tcgenCompress(trace, cfg);
     EXPECT_EQ(tcg::tcgenDecompress(compressed, cfg), trace);
+}
+
+// --- Corpus generators (tcgen/corpus.hpp) -------------------------------
+
+std::vector<uint64_t>
+drain(tcg::CorpusSource &src)
+{
+    std::vector<uint64_t> out;
+    uint64_t buf[1013]; // odd size: exercises partial batches
+    size_t got;
+    while ((got = src.read(buf, 1013)) != 0)
+        out.insert(out.end(), buf, buf + got);
+    return out;
+}
+
+class CorpusSpec : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CorpusSpec, DeterministicUnderFixedSeed)
+{
+    auto a = tcg::makeCorpusSource(GetParam(), 20000, 7);
+    auto b = tcg::makeCorpusSource(GetParam(), 20000, 7);
+    ASSERT_TRUE(a.ok()) << a.status().message();
+    ASSERT_TRUE(b.ok()) << b.status().message();
+    EXPECT_EQ(drain(*a.value()), drain(*b.value()));
+}
+
+TEST_P(CorpusSpec, DifferentSeedsDiverge)
+{
+    // Only the randomized generators consume the seed: stream sweeps,
+    // fixed-stride chases and rr merges are deterministic by design.
+    std::string spec(GetParam());
+    bool seeded = spec.rfind("gcphase", 0) == 0 ||
+                  spec.find("mode=bursty") != std::string::npos ||
+                  (spec.rfind("ptrchase", 0) == 0 &&
+                   spec.find("stride=") == std::string::npos) ||
+                  spec.find("stride=rand") != std::string::npos;
+    if (!seeded)
+        GTEST_SKIP() << "generator is seed-independent by design";
+    auto a = tcg::makeCorpusSource(GetParam(), 20000, 7);
+    auto b = tcg::makeCorpusSource(GetParam(), 20000, 8);
+    EXPECT_NE(drain(*a.value()), drain(*b.value()));
+}
+
+TEST_P(CorpusSpec, ProducesExactlyCountRecords)
+{
+    auto src = tcg::makeCorpusSource(GetParam(), 12345, 1);
+    ASSERT_TRUE(src.ok()) << src.status().message();
+    EXPECT_EQ(src.value()->count(), 12345u);
+    EXPECT_EQ(drain(*src.value()).size(), 12345u);
+    // A drained source stays dry.
+    uint64_t v;
+    EXPECT_EQ(src.value()->read(&v, 1), 0u);
+}
+
+TEST_P(CorpusSpec, DescribeRoundTrips)
+{
+    // parse -> describe -> parse: the canonical spec reproduces the
+    // generator exactly (same stream), and re-describing is stable.
+    auto a = tcg::makeCorpusSource(GetParam(), 20000, 3);
+    ASSERT_TRUE(a.ok()) << a.status().message();
+    std::string canonical = a.value()->describe();
+    auto b = tcg::makeCorpusSource(canonical, 20000, 3);
+    ASSERT_TRUE(b.ok()) << "canonical spec '" << canonical
+                        << "' rejected: " << b.status().message();
+    EXPECT_EQ(b.value()->describe(), canonical);
+    EXPECT_EQ(drain(*a.value()), drain(*b.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusSpec,
+    testing::Values("ptrchase", "ptrchase:nodes=4k,stride=rand",
+                    "ptrchase:nodes=1k,stride=128", "gcphase",
+                    "gcphase:heap=1m,mutator=8k,collector=4k", "stream",
+                    "stream:footprint=1m,stride=256", "multicore",
+                    "multicore:cores=3,mode=bursty,burst=8,footprint=1m"));
+
+TEST(Corpus, CatalogSpecsAllParse)
+{
+    for (const std::string &spec : tcg::corpusCatalog()) {
+        auto src = tcg::makeCorpusSource(spec, 1000, 1);
+        EXPECT_TRUE(src.ok())
+            << spec << ": " << src.status().message();
+    }
+}
+
+TEST(Corpus, RejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"nosuchgen", "ptrchase:nodes=0", "ptrchase:stride=100",
+          "ptrchase:bogus=1", "gcphase:heap=100",
+          "stream:footprint=1k,stride=1m",
+          "multicore:cores=1", "multicore:mode=zigzag",
+          "multicore:footprint=2t", "ptrchase:nodes"}) {
+        auto src = tcg::makeCorpusSource(bad, 1000, 1);
+        EXPECT_FALSE(src.ok()) << bad << " should have been rejected";
+    }
+}
+
+TEST(Corpus, PtrChaseRandomVisitsEveryNodeOncePerLap)
+{
+    // Sattolo permutation: one full cycle covers all nodes exactly once.
+    constexpr uint64_t kNodes = 512;
+    auto src = tcg::makeCorpusSource("ptrchase:nodes=512,stride=rand",
+                                     kNodes, 11);
+    auto lap = drain(*src.value());
+    std::map<uint64_t, int> seen;
+    for (uint64_t a : lap)
+        seen[a]++;
+    EXPECT_EQ(seen.size(), kNodes);
+    for (const auto &[addr, times] : seen) {
+        EXPECT_EQ(times, 1) << "node visited twice within one lap";
+        EXPECT_EQ(addr % 64, 0u) << "node addresses are line-aligned";
+    }
+}
+
+TEST(Corpus, GcPhaseAlternatesSweepAndScatter)
+{
+    // During a collector phase the stream is a pure sequential sweep;
+    // detect it by counting +64 deltas over phase-sized windows.
+    auto src = tcg::makeCorpusSource(
+        "gcphase:heap=256k,mutator=2048,collector=2048", 16384, 5);
+    auto trace = drain(*src.value());
+    size_t window = 2048;
+    std::vector<double> seq_fraction;
+    for (size_t w = 0; w + window <= trace.size(); w += window) {
+        size_t seq = 0;
+        for (size_t i = w + 1; i < w + window; ++i)
+            seq += (trace[i] - trace[i - 1] == 64);
+        seq_fraction.push_back(double(seq) / double(window - 1));
+    }
+    double lo = 1.0, hi = 0.0;
+    for (double f : seq_fraction) {
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    EXPECT_GT(hi, 0.95) << "no collector-like sweep window found";
+    EXPECT_LT(lo, 0.75) << "no mutator-like scattered window found";
+}
+
+TEST(Corpus, MulticoreRoundRobinInvariants)
+{
+    // rr merge, burst b: per-core record counts never differ by more
+    // than one full burst, every address maps to a valid core, and the
+    // per-core sub-streams are strided sweeps within the footprint.
+    constexpr uint64_t kCount = 60000;
+    constexpr uint32_t kCores = 5;
+    constexpr uint64_t kBurst = 32;
+    auto src = tcg::makeCorpusSource(
+        "multicore:cores=5,mode=rr,burst=32,footprint=1m", kCount, 2);
+    ASSERT_TRUE(src.ok()) << src.status().message();
+    auto trace = drain(*src.value());
+    ASSERT_EQ(trace.size(), kCount);
+
+    uint64_t per_core[kCores] = {};
+    uint32_t turn = 0; // rr: bursts arrive in strict core order
+    for (size_t i = 0; i < trace.size(); i += kBurst) {
+        uint32_t core = tcg::multicoreCoreOf(trace[i]);
+        ASSERT_LT(core, kCores);
+        EXPECT_EQ(core, (turn + 1) % kCores) << "burst order broken";
+        turn = core;
+        for (size_t j = i; j < std::min(trace.size(), i + kBurst); ++j) {
+            EXPECT_EQ(tcg::multicoreCoreOf(trace[j]), core)
+                << "burst " << i << " mixes cores";
+            EXPECT_LT(trace[j] % tcg::kMulticoreCoreSpan, 1u << 20)
+                << "address outside the declared footprint";
+            ++per_core[core];
+        }
+    }
+    uint64_t lo = kCount, hi = 0;
+    for (uint64_t c : per_core) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    EXPECT_LE(hi - lo, kBurst) << "rr merge is unfair beyond one burst";
+}
+
+TEST(Corpus, MulticoreBurstyCoversAllCores)
+{
+    auto src = tcg::makeCorpusSource(
+        "multicore:cores=4,mode=bursty,burst=16,footprint=1m", 40000, 9);
+    auto trace = drain(*src.value());
+    uint64_t per_core[4] = {};
+    for (uint64_t a : trace) {
+        uint32_t core = tcg::multicoreCoreOf(a);
+        ASSERT_LT(core, 4u);
+        ++per_core[core];
+    }
+    for (uint64_t c : per_core)
+        EXPECT_GT(c, 40000u / 16) << "a core is starved";
+}
+
+TEST(Corpus, GeneratorsRoundTripThroughAtcLosslessly)
+{
+    // The corpus exists to feed the compressor: every family must
+    // survive a lossless container round trip bit-exactly.
+    for (const std::string &spec : tcg::corpusCatalog()) {
+        auto src = tcg::makeCorpusSource(spec, 30000, 1);
+        ASSERT_TRUE(src.ok()) << src.status().message();
+        auto trace = drain(*src.value());
+
+        core::MemoryStore store;
+        core::AtcOptions opt;
+        opt.mode = core::Mode::Lossless;
+        opt.pipeline.buffer_addrs = 4096;
+        core::AtcWriter writer(store, opt);
+        writer.write(trace.data(), trace.size());
+        writer.close();
+
+        core::AtcReader reader(store);
+        std::vector<uint64_t> back(trace.size());
+        size_t got = 0;
+        while (got < back.size()) {
+            size_t n = reader.read(back.data() + got, back.size() - got);
+            if (n == 0)
+                break;
+            got += n;
+        }
+        EXPECT_EQ(back, trace) << spec;
+    }
 }
 
 } // namespace
