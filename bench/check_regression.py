@@ -12,6 +12,14 @@ they produce evidence for:
   the paper's headline claim — is held to a hard bound. The
   obs_overhead mode carries its own absolute gate: the run fails when
   leaving metrics on costs more than --obs-overhead-max percent.
+  The sample_study mode carries two more absolute gates: the sampled
+  cache study must decode at most --sample-decoded-frac-max of the
+  bytes a full-trace pass decodes (that fraction IS the speedup claim,
+  so regressing it silently would gut the subsystem), and its merged
+  miss-ratio estimate must stay within --sample-miss-error-max of the
+  full-reference ratio. The decoded-fraction gate is skipped when the
+  bench reports decoded_frac < 0 (observability compiled out — no
+  evidence either way); the error gate always applies.
 
 * Matrix gate (``--matrix fresh.json [--matrix-baseline base.json]``):
   compares a fresh bench/matrix sweep against the committed
@@ -31,11 +39,14 @@ Usage:
     check_regression.py [bench.json baseline.json]
         [--matrix fresh.json] [--matrix-baseline base.json]
         [--gates gates.json] [--threshold 0.15]
-        [--obs-overhead-max 3.0] [--summary <markdown-file>]
+        [--obs-overhead-max 3.0]
+        [--sample-decoded-frac-max 0.10] [--sample-miss-error-max 0.08]
+        [--summary <markdown-file>]
 
 Threshold precedence: CLI flag > environment variable
-(ATC_BENCH_REGRESSION_THRESHOLD / ATC_OBS_OVERHEAD_MAX) > gates.json >
-built-in default. The --summary file receives a GitHub-flavoured
+(ATC_BENCH_REGRESSION_THRESHOLD / ATC_OBS_OVERHEAD_MAX /
+ATC_SAMPLE_DECODED_FRAC_MAX / ATC_SAMPLE_MISS_ERROR_MAX) >
+gates.json > built-in default. The --summary file receives a GitHub-flavoured
 markdown table (append mode, so pointing it at $GITHUB_STEP_SUMMARY
 stacks a row per job and the perf trajectory stays visible across PRs).
 """
@@ -51,6 +62,8 @@ DEFAULT_MATRIX_BASELINE = os.path.join(HERE, "matrix_baseline.json")
 
 DEFAULT_THRESHOLD = 0.15
 DEFAULT_OBS_OVERHEAD_MAX = 3.0
+DEFAULT_SAMPLE_DECODED_FRAC_MAX = 0.10
+DEFAULT_SAMPLE_MISS_ERROR_MAX = 0.08
 
 GATE_KINDS = ("min_ratio", "max_ratio", "max_abs")
 
@@ -78,7 +91,8 @@ def load_gates(path):
             or not all(isinstance(m, str) and m for m in modes)):
         raise GatesError("gated_modes must be a list of mode names")
 
-    for key in ("threshold", "obs_overhead_max_pct"):
+    for key in ("threshold", "obs_overhead_max_pct",
+                "sample_decoded_frac_max", "sample_miss_error_max"):
         if key in gates and not isinstance(gates[key], (int, float)):
             raise GatesError("%s must be a number" % key)
     if "threshold" in gates and not 0 < gates["threshold"] < 1:
@@ -112,6 +126,8 @@ def load_gates(path):
         "matrix_cells": cells,
         "threshold": gates.get("threshold"),
         "obs_overhead_max_pct": gates.get("obs_overhead_max_pct"),
+        "sample_decoded_frac_max": gates.get("sample_decoded_frac_max"),
+        "sample_miss_error_max": gates.get("sample_miss_error_max"),
     }
 
 
@@ -143,8 +159,13 @@ def max_thread_speedup(results, mode):
 
 
 def check_sweep(bench, baseline, gated_modes, threshold,
-                obs_overhead_max):
+                obs_overhead_max, sample_decoded_frac_max=None,
+                sample_miss_error_max=None):
     """Thread-sweep gate. Returns (markdown lines, failure strings)."""
+    if sample_decoded_frac_max is None:
+        sample_decoded_frac_max = DEFAULT_SAMPLE_DECODED_FRAC_MAX
+    if sample_miss_error_max is None:
+        sample_miss_error_max = DEFAULT_SAMPLE_MISS_ERROR_MAX
     lines = []
     lines.append("### Perf trajectory — `%s` (%s addresses, container v%s)"
                  % (bench.get("benchmark", "?"), bench.get("addresses", "?"),
@@ -212,6 +233,35 @@ def check_sweep(bench, baseline, gated_modes, threshold,
                      % (pct, row["maddrs_per_s"],
                         row.get("off_maddrs_per_s", 0),
                         obs_overhead_max))
+
+    # Absolute gates on the sampling study: the decoded fraction is the
+    # subsystem's reason to exist and the miss-ratio error is its
+    # fidelity contract, so both are bounded directly rather than as a
+    # ratio against baseline drift.
+    sample_rows = [r for r in bench["results"]
+                   if "miss_ratio_error" in r]
+    for row in sample_rows:
+        frac = row.get("decoded_frac", -1.0)
+        err = row["miss_ratio_error"]
+        if frac >= 0 and frac > sample_decoded_frac_max:
+            failures.append(
+                "sample_study: sampled run decoded %.1f%% of the bytes "
+                "a full pass decodes (bound %.1f%%) — scattered windows "
+                "are no longer cheap" % (frac * 100,
+                                         sample_decoded_frac_max * 100))
+        if err > sample_miss_error_max:
+            failures.append(
+                "sample_study: worst miss-ratio error %.4f vs the "
+                "full-trace reference (bound %.4f)"
+                % (err, sample_miss_error_max))
+        lines.append("")
+        lines.append("Sampling study: decoded fraction %s (bound "
+                     "%.1f%%), worst miss-ratio error %.4f (bound "
+                     "%.4f), %.2fx faster than the full pass."
+                     % ("%.2f%%" % (frac * 100) if frac >= 0
+                        else "n/a (obs off)",
+                        sample_decoded_frac_max * 100, err,
+                        sample_miss_error_max, row.get("speedup", 0)))
 
     lines.append("")
     if failures:
@@ -340,6 +390,14 @@ def main(argv=None):
         "--obs-overhead-max", type=float, default=None,
         help="maximum tolerated metrics-on decode overhead "
              "(percent; overrides env and gates.json)")
+    parser.add_argument(
+        "--sample-decoded-frac-max", type=float, default=None,
+        help="maximum fraction of full-pass decoded bytes a sampled "
+             "study may decode (overrides env and gates.json)")
+    parser.add_argument(
+        "--sample-miss-error-max", type=float, default=None,
+        help="maximum worst-case sampled-vs-reference miss-ratio "
+             "error (overrides env and gates.json)")
     parser.add_argument("--summary", help="markdown file to append to")
     args = parser.parse_args(argv)
 
@@ -360,6 +418,14 @@ def main(argv=None):
     obs_max = resolve(args.obs_overhead_max, "ATC_OBS_OVERHEAD_MAX",
                       gates["obs_overhead_max_pct"],
                       DEFAULT_OBS_OVERHEAD_MAX)
+    frac_max = resolve(args.sample_decoded_frac_max,
+                       "ATC_SAMPLE_DECODED_FRAC_MAX",
+                       gates["sample_decoded_frac_max"],
+                       DEFAULT_SAMPLE_DECODED_FRAC_MAX)
+    err_max = resolve(args.sample_miss_error_max,
+                      "ATC_SAMPLE_MISS_ERROR_MAX",
+                      gates["sample_miss_error_max"],
+                      DEFAULT_SAMPLE_MISS_ERROR_MAX)
 
     lines = []
     failures = []
@@ -370,7 +436,8 @@ def main(argv=None):
         with open(args.baseline_json) as f:
             baseline = json.load(f)
         sweep_lines, sweep_failures = check_sweep(
-            bench, baseline, gates["gated_modes"], threshold, obs_max)
+            bench, baseline, gates["gated_modes"], threshold, obs_max,
+            frac_max, err_max)
         lines.extend(sweep_lines)
         failures.extend(sweep_failures)
 

@@ -51,6 +51,8 @@
 #include "parallel/thread_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "study/sample_plan.hpp"
+#include "study/sample_study.hpp"
 #include "trace/pipeline.hpp"
 #include "util/rng.hpp"
 
@@ -145,6 +147,12 @@ struct Row
     double off_maddrs = 0;
     double overhead_pct = 0;
     bool has_overhead = false;
+    /** sample_study only: decoded bytes of the sampled run over the
+     *  full reference pass (-1 when observability is off) and the
+     *  worst absolute sampled-vs-reference miss-ratio error. */
+    double decoded_frac = -1;
+    double miss_ratio_error = 0;
+    bool has_sample = false;
 };
 
 } // namespace
@@ -551,6 +559,82 @@ main(int argc, char **argv)
                      on_maddrs, off_maddrs, overhead.overhead_pct);
     }
 
+    // sample_study: the sampling engine end-to-end — scattered windows
+    // over a dedicated small-frame container (4k-record transform
+    // buffers and 32k codec blocks: the transform buffer is the
+    // lossless random-access decode granule, so it must stay near the
+    // window length or every window decodes far more than it
+    // measures), merged estimate vs the full-trace reference. Gated on
+    // throughput ratio like every mode, plus two absolute gates:
+    // decoded_frac (sampling must decode a small fraction of what the
+    // full pass decodes) and miss_ratio_error (the estimate must stay
+    // honest). Runs at the sweep's top thread count.
+    {
+        size_t t = threads.back();
+        core::AtcOptions sample_copt;
+        sample_copt.mode = core::Mode::Lossless;
+        sample_copt.pipeline.buffer_addrs = 4096;
+        sample_copt.pipeline.codec_block = 32 * 1024;
+        core::MemoryStore sample_store;
+        {
+            parallel::ParallelOptions popt;
+            popt.threads = t;
+            parallel::ParallelAtcWriter w(sample_store, sample_copt,
+                                          popt);
+            w.write(corpus.data(), corpus.size());
+            w.close();
+        }
+        // No decoded-block cache: the byte counters must reflect what
+        // each pass truly decodes, not what the other left behind.
+        core::IndexOptions iopt;
+        iopt.cache_bytes = 0;
+        auto index = core::AtcIndex::openOrThrow(sample_store, iopt);
+
+        char plan_spec[128];
+        std::snprintf(plan_spec, sizeof plan_spec,
+                      "systematic:windows=8,len=%zu,warmup=%zu",
+                      n / 1000, n / 4000);
+        auto plan = study::SamplePlan::build(plan_spec, index->size());
+        if (!plan.ok()) {
+            std::fprintf(stderr, "FATAL: sample plan: %s\n",
+                         plan.status().message().c_str());
+            return 1;
+        }
+        study::StudyOptions sopt2;
+        sopt2.sets = {64, 1024};
+        sopt2.threads = t;
+        auto sampled = study::runSampleStudy(index, plan.value(), sopt2);
+        auto reference = study::runFullReference(index, sopt2);
+        if (!sampled.ok() || !reference.ok()) {
+            std::fprintf(stderr, "FATAL: sample study failed: %s\n",
+                         (!sampled.ok() ? sampled.status()
+                                        : reference.status())
+                             .message()
+                             .c_str());
+            return 1;
+        }
+        const study::StudyResult &sr = sampled.value();
+        const study::ReferenceResult &rr = reference.value();
+
+        Row srow{"sample_study", t, sr.seconds,
+                 static_cast<double>(sr.fetched_records) / sr.seconds /
+                     1e6,
+                 sr.seconds > 0 ? rr.seconds / sr.seconds : 0.0};
+        if (sr.decoded_bytes >= 0 && rr.decoded_bytes > 0)
+            srow.decoded_frac = static_cast<double>(sr.decoded_bytes) /
+                                static_cast<double>(rr.decoded_bytes);
+        srow.miss_ratio_error = study::worstAbsError(sr, rr);
+        srow.has_sample = true;
+        rows.push_back(srow);
+        std::fprintf(stderr,
+                     "  sample_study: %zu windows (%s), %.3fs vs "
+                     "reference %.3fs (%.1fx), decoded frac %.4f, "
+                     "worst miss-ratio error %.5f\n",
+                     sr.windows.size(), sr.plan.c_str(), sr.seconds,
+                     rr.seconds, srow.speedup, srow.decoded_frac,
+                     srow.miss_ratio_error);
+    }
+
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (!json) {
         std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -589,6 +673,11 @@ main(int argc, char **argv)
                          ", \"off_maddrs_per_s\": %.3f, "
                          "\"overhead_pct\": %.2f",
                          r.off_maddrs, r.overhead_pct);
+        if (r.has_sample)
+            std::fprintf(json,
+                         ", \"decoded_frac\": %.4f, "
+                         "\"miss_ratio_error\": %.5f",
+                         r.decoded_frac, r.miss_ratio_error);
         std::fprintf(json, "}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

@@ -166,6 +166,55 @@ class MatrixGateTest(unittest.TestCase):
             cr.main([])
 
 
+class SampleGateTest(unittest.TestCase):
+    """Absolute gates on the sample_study row: the decoded-bytes
+    fraction and the miss-ratio error are bounded directly."""
+
+    @staticmethod
+    def bench(frac, err):
+        row = {"mode": "sample_study", "threads": 4, "seconds": 0.05,
+               "maddrs_per_s": 12.0, "speedup": 9.0,
+               "decoded_frac": frac, "miss_ratio_error": err}
+        return {"benchmark": "parallel_throughput", "addresses": 2000000,
+                "results": [row]}
+
+    def sweep(self, frac, err, frac_max=0.10, err_max=0.08):
+        bench = self.bench(frac, err)
+        _, failures = cr.check_sweep(
+            bench, bench, ["sample_study"], 0.15, 3.0, frac_max,
+            err_max)
+        return failures
+
+    def test_within_bounds_passes(self):
+        self.assertEqual(self.sweep(0.05, 0.01), [])
+
+    def test_decoded_fraction_over_bound_fails(self):
+        failures = self.sweep(0.25, 0.01)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("decoded", failures[0])
+
+    def test_miss_ratio_error_over_bound_fails(self):
+        failures = self.sweep(0.05, 0.2)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("miss-ratio error", failures[0])
+
+    def test_obs_disabled_skips_fraction_gate_only(self):
+        # decoded_frac -1 means observability was compiled out: no
+        # decode evidence either way, but the error gate still applies.
+        self.assertEqual(self.sweep(-1.0, 0.01), [])
+        self.assertEqual(len(self.sweep(-1.0, 0.2)), 1)
+
+    def test_custom_bounds_respected(self):
+        self.assertEqual(self.sweep(0.25, 0.2, frac_max=0.3,
+                                    err_max=0.25), [])
+
+    def test_committed_gates_carry_sample_bounds(self):
+        gates = cr.load_gates(cr.DEFAULT_GATES)
+        self.assertIsNotNone(gates["sample_decoded_frac_max"])
+        self.assertIsNotNone(gates["sample_miss_error_max"])
+        self.assertIn("sample_study", gates["gated_modes"])
+
+
 class ThresholdPrecedenceTest(unittest.TestCase):
     def test_cli_beats_env_beats_gates_beats_default(self):
         env = "ATC_BENCH_REGRESSION_THRESHOLD"

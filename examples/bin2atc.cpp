@@ -10,6 +10,14 @@
  *               container format version to write (default 3:
  *               seekable framing for block-parallel decode; 2/1
  *               reproduce the older layouts)
+ *   --block BYTES
+ *               codec block (= seekable frame) size; k/m/g suffixes.
+ *               Smaller frames cost compression ratio but shrink the
+ *               decode granularity random access pays — a sampling
+ *               study (docs/sampling.md) wants frames no larger than
+ *               its windows
+ *   --buffer ADDRS
+ *               transform buffer capacity in addresses (k/m/g)
  *   c           lossless compression
  *   k           lossy compression (default, as in the paper's example)
  *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
@@ -39,9 +47,31 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [-j N] [--container-version V] "
+                 "[--block BYTES] [--buffer ADDRS] "
                  "[--metrics-json PATH] <dirname> [c|k] [codec-spec]\n",
                  argv0);
     return 2;
+}
+
+/** Parse a positive size with an optional k/m/g binary suffix. */
+bool
+parseSize(const char *text, size_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || v == 0)
+        return false;
+    switch (*end) {
+      case '\0': break;
+      case 'k': case 'K': v <<= 10; ++end; break;
+      case 'm': case 'M': v <<= 20; ++end; break;
+      case 'g': case 'G': v <<= 30; ++end; break;
+      default: return false;
+    }
+    if (*end != '\0')
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
 }
 
 /** Parse a -j/--threads option at argv[i]; advances i past it. */
@@ -72,6 +102,8 @@ main(int argc, char **argv)
 
     size_t threads = 1;
     long container_version = atc::core::kContainerVersion;
+    size_t codec_block = 0;
+    size_t buffer_addrs = 0;
     std::string metrics_json;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
@@ -79,6 +111,12 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 return usage(argv[0]);
             metrics_json = argv[++i];
+        } else if (std::strcmp(argv[i], "--block") == 0) {
+            if (i + 1 >= argc || !parseSize(argv[++i], codec_block))
+                return usage(argv[0]);
+        } else if (std::strcmp(argv[i], "--buffer") == 0) {
+            if (i + 1 >= argc || !parseSize(argv[++i], buffer_addrs))
+                return usage(argv[0]);
         } else if (std::strcmp(argv[i], "--container-version") == 0) {
             if (i + 1 >= argc)
                 return usage(argv[0]);
@@ -115,6 +153,10 @@ main(int argc, char **argv)
     options.container_version = static_cast<uint8_t>(container_version);
     if (positional.size() > 2)
         options.pipeline.codec = positional[2];
+    if (codec_block != 0)
+        options.pipeline.codec_block = codec_block;
+    if (buffer_addrs != 0)
+        options.pipeline.buffer_addrs = buffer_addrs;
 
     // Both writers speak TraceSink; only construction and the close /
     // count calls differ.

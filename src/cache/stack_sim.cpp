@@ -18,7 +18,10 @@ StackSimulator::StackSimulator(uint32_t sets, uint32_t max_ways)
 void
 StackSimulator::access(uint64_t block_addr)
 {
-    ++accesses_;
+    if (warmup_)
+        ++warmup_accesses_;
+    else
+        ++accesses_;
     uint32_t set = static_cast<uint32_t>(block_addr) & set_mask_;
     uint64_t tag = block_addr >> __builtin_ctz(sets_);
     std::vector<uint64_t> &stack = stacks_[set];
@@ -27,7 +30,8 @@ StackSimulator::access(uint64_t block_addr)
     // cache of this set count with associativity >= d.
     for (size_t d = 0; d < stack.size(); ++d) {
         if (stack[d] == tag) {
-            hist_[d]++;
+            if (!warmup_)
+                hist_[d]++;
             // Move to front.
             for (size_t i = d; i > 0; --i)
                 stack[i] = stack[i - 1];
@@ -39,13 +43,35 @@ StackSimulator::access(uint64_t block_addr)
     // Not in the tracked window: cold miss if we've never truncated this
     // deep, otherwise a reuse beyond max_ways; both miss at every
     // tracked associativity, so the distinction is informational.
-    if (stack.size() < max_ways_)
-        ++cold_;
-    else
-        ++deep_;
+    if (!warmup_) {
+        if (stack.size() < max_ways_)
+            ++cold_;
+        else
+            ++deep_;
+    }
     stack.insert(stack.begin(), tag);
     if (stack.size() > max_ways_)
         stack.pop_back();
+}
+
+void
+StackSimulator::resetStacks()
+{
+    for (std::vector<uint64_t> &stack : stacks_)
+        stack.clear();
+}
+
+void
+StackSimulator::merge(const StackSimulator &other)
+{
+    ATC_CHECK(sets_ == other.sets_ && max_ways_ == other.max_ways_,
+              "merging stack simulators of different geometries");
+    for (uint32_t d = 0; d < max_ways_; ++d)
+        hist_[d] += other.hist_[d];
+    cold_ += other.cold_;
+    deep_ += other.deep_;
+    accesses_ += other.accesses_;
+    warmup_accesses_ += other.warmup_accesses_;
 }
 
 uint64_t

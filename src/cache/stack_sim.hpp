@@ -30,6 +30,35 @@ class StackSimulator
     void access(uint64_t block_addr);
 
     /**
+     * Warm-up discard seam for sampled simulation: while on, access()
+     * still updates the recency stacks (the cache state warms) and
+     * tallies warmupAccesses(), but records nothing into the
+     * histogram, miss, or access statistics. Windows fed as
+     * warmup-then-measure report only the measured region.
+     */
+    void setWarmup(bool on) { warmup_ = on; }
+
+    /** @return accesses consumed while setWarmup(true) was active. */
+    uint64_t warmupAccesses() const { return warmup_accesses_; }
+
+    /**
+     * Forget all recency state (per-set stacks) while keeping every
+     * recorded statistic. This is the state-reset seam that makes
+     * per-window results combine exactly: simulating windows A and B
+     * independently and merge()-ing equals one pass over A+B with a
+     * resetStacks() at the boundary.
+     */
+    void resetStacks();
+
+    /**
+     * Fold @p other's recorded statistics into this simulator.
+     * Geometries must match. Recency stacks are not merged (they are
+     * transient state, not statistics); per-window simulators each
+     * start cold, so merged counts equal a single boundary-reset pass.
+     */
+    void merge(const StackSimulator &other);
+
+    /**
      * Miss ratio for a cache of this set count and @p ways ways.
      * @param ways associativity in [1, max_ways]
      */
@@ -58,6 +87,8 @@ class StackSimulator
     uint64_t cold_ = 0;     // first-touch misses
     uint64_t deep_ = 0;     // reuses deeper than max_ways
     uint64_t accesses_ = 0;
+    bool warmup_ = false;   // suppress stats, keep warming the stacks
+    uint64_t warmup_accesses_ = 0;
 };
 
 /**

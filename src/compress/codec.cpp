@@ -27,13 +27,13 @@ StoreCodec::decompressBlock(util::ByteSource &in, size_t raw_size,
 namespace {
 
 bool
-validToken(const std::string &s)
+validToken(const std::string &s, bool allow_plus = false)
 {
     if (s.empty())
         return false;
     for (char c : s) {
         if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
-            c != '-' && c != '.')
+            c != '-' && c != '.' && !(allow_plus && c == '+'))
             return false;
     }
     return true;
@@ -82,7 +82,9 @@ CodecSpec::parse(const std::string &spec)
                                        "' is not key=value");
         std::string key = item.substr(0, eq);
         std::string value = item.substr(eq + 1);
-        if (!validToken(key) || !validToken(value))
+        // Values additionally admit '+' so list-valued parameters can
+        // ride the same grammar (the sampling plan's at=A+B+C starts).
+        if (!validToken(key) || !validToken(value, /*allow_plus=*/true))
             return util::Status::error("malformed codec spec '" + spec +
                                        "': bad parameter '" + item + "'");
         if (out.find(key) != nullptr)

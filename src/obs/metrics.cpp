@@ -85,6 +85,29 @@ Snapshot::histCount(const std::string &name) const
     return it == histograms.end() ? 0 : it->second.count;
 }
 
+Snapshot
+Snapshot::since(const Snapshot &earlier) const
+{
+    Snapshot d = *this;
+    for (auto &[name, v] : d.counters) {
+        auto it = earlier.counters.find(name);
+        if (it != earlier.counters.end())
+            v -= it->second;
+    }
+    for (auto &[name, h] : d.histograms) {
+        auto it = earlier.histograms.find(name);
+        if (it == earlier.histograms.end())
+            continue;
+        const HistogramValue &e = it->second;
+        h.count -= e.count;
+        h.sum -= e.sum;
+        for (size_t b = 0;
+             b < h.buckets.size() && b < e.buckets.size(); ++b)
+            h.buckets[b] -= e.buckets[b];
+    }
+    return d;
+}
+
 Registry &
 Registry::global()
 {

@@ -199,6 +199,18 @@ struct Snapshot {
     /// Histogram sum by name, 0 when absent.
     int64_t histSum(const std::string &name) const;
     uint64_t histCount(const std::string &name) const;
+
+    /**
+     * Difference of two snapshots of one registry: every counter and
+     * histogram count/sum/bucket of *this minus its value in
+     * @p earlier (absent-in-earlier means unchanged). Gauges keep
+     * their current level — deltas of instantaneous values are
+     * meaningless. This is how a bounded piece of work (a sampled
+     * window sweep, one bench section) is attributed its share of the
+     * process-wide counters, e.g. the study's decoded-bytes
+     * accounting over codec.decode.raw_bytes.
+     */
+    Snapshot since(const Snapshot &earlier) const;
 };
 
 /// Named-metric registry. `global()` is the process instance every

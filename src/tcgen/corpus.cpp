@@ -301,6 +301,103 @@ class MulticoreSource : public CorpusSource
     uint64_t left_ = 0; // forces a turn selection on the first record
 };
 
+/**
+ * Producer/consumer ring: N producers fill a `depth`-slot ring until
+ * it is full, then the consumer drains it empty, forever. Every
+ * produce touches the shared tail-counter line, the slot's line, and
+ * the producer's private stamp line; every consume touches the shared
+ * head-counter line and the slot's line. The trace therefore
+ * alternates between a fill phase (3 records per item, stamp lines
+ * scattered across producers) and a drain phase (2 records per item,
+ * pure ring sweep) with a period of ~5*depth records — short sampling
+ * windows land inside one phase and see a biased miss ratio, which is
+ * exactly the phase structure that makes sampling error visible.
+ */
+class QueueSource : public CorpusSource
+{
+  public:
+    QueueSource(uint32_t producers, uint64_t depth, uint64_t count,
+                uint64_t seed)
+        : producers_(producers), depth_(depth), total_(count),
+          remaining_(count), rng_(seed ^ 0x6b49d5ca35a9fa21ull)
+    {}
+
+    size_t
+    read(uint64_t *out, size_t n) override
+    {
+        size_t produce = static_cast<size_t>(
+            std::min<uint64_t>(n, remaining_));
+        for (size_t i = 0; i < produce; ++i) {
+            if (pend_n_ == 0)
+                nextOp();
+            out[i] = pend_[pend_i_++];
+            --pend_n_;
+        }
+        remaining_ -= produce;
+        return produce;
+    }
+
+    std::string
+    describe() const override
+    {
+        return "queue:producers=" + sizeString(producers_) +
+               ",depth=" + sizeString(depth_);
+    }
+
+    uint64_t count() const override { return total_; }
+
+  private:
+    static constexpr uint64_t kBase = 0xC0000000ull;
+    static constexpr uint64_t kLine = 64;
+
+    uint64_t headLine() const { return kBase; }
+    uint64_t tailLine() const { return kBase + kLine; }
+    uint64_t slotLine(uint64_t s) const
+    {
+        return kBase + (2 + s % depth_) * kLine;
+    }
+    uint64_t stampLine(uint32_t p) const
+    {
+        return kBase + (2 + depth_ + p) * kLine;
+    }
+
+    /** Stage the records of the next produce or consume operation. */
+    void
+    nextOp()
+    {
+        pend_i_ = 0;
+        if (draining_) {
+            pend_[0] = headLine();
+            pend_[1] = slotLine(head_);
+            pend_n_ = 2;
+            ++head_;
+            if (head_ == tail_)
+                draining_ = false;
+        } else {
+            uint32_t p = static_cast<uint32_t>(rng_.below(producers_));
+            pend_[0] = tailLine();
+            pend_[1] = slotLine(tail_);
+            pend_[2] = stampLine(p);
+            pend_n_ = 3;
+            ++tail_;
+            if (tail_ - head_ == depth_)
+                draining_ = true;
+        }
+    }
+
+    uint32_t producers_;
+    uint64_t depth_;
+    uint64_t total_;
+    uint64_t remaining_;
+    util::Rng rng_;
+    uint64_t head_ = 0;
+    uint64_t tail_ = 0;
+    bool draining_ = false;
+    uint64_t pend_[3] = {0, 0, 0};
+    size_t pend_i_ = 0;
+    size_t pend_n_ = 0;
+};
+
 StatusOr<CorpusSourcePtr>
 makePtrChase(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
 {
@@ -393,6 +490,26 @@ makeMulticore(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
         footprint.value(), count, seed));
 }
 
+StatusOr<CorpusSourcePtr>
+makeQueue(const comp::CodecSpec &spec, uint64_t count, uint64_t seed)
+{
+    Status keys = checkKeys(spec, {"producers", "depth"});
+    if (!keys.ok())
+        return keys;
+    auto producers = spec.sizeParam("producers", 4);
+    auto depth = spec.sizeParam("depth", 1024);
+    for (const auto *p : {&producers, &depth})
+        if (!p->ok())
+            return p->status();
+    if (producers.value() < 1 || producers.value() > 1024)
+        return Status::error("queue: producers must be in [1, 1024]");
+    if (depth.value() < 2 || depth.value() > (1u << 20))
+        return Status::error("queue: depth must be in [2, 1m] slots");
+    return CorpusSourcePtr(std::make_unique<QueueSource>(
+        static_cast<uint32_t>(producers.value()), depth.value(), count,
+        seed));
+}
+
 struct Family
 {
     const char *name;
@@ -404,6 +521,7 @@ const Family kFamilies[] = {
     {"gcphase", makeGcPhase},
     {"multicore", makeMulticore},
     {"ptrchase", makePtrChase},
+    {"queue", makeQueue},
     {"stream", makeStream},
 };
 
@@ -421,7 +539,7 @@ makeCorpusSource(const std::string &spec_string, uint64_t count,
             return f.make(spec.value(), count, seed);
     return Status::error("unknown corpus generator '" +
                          spec.value().name + "' (known: gcphase, "
-                         "multicore, ptrchase, stream)");
+                         "multicore, ptrchase, queue, stream)");
 }
 
 const std::vector<std::string> &
@@ -432,6 +550,7 @@ corpusCatalog()
         "gcphase:heap=8m,mutator=64k,collector=32k",
         "stream:footprint=16m,stride=64",
         "multicore:cores=4,mode=rr,burst=16,footprint=4m",
+        "queue:producers=4,depth=1024",
     };
     return catalog;
 }

@@ -20,6 +20,10 @@
  *                random bursts — the interleaving ATC's address
  *                transform was never exercised on; per-core address
  *                spaces are disjoint so the merge is analyzable
+ *  - queue     : producer/consumer ring alternating fill and drain
+ *                phases with a ~5*depth-record period — the
+ *                phase-biased workload that makes sampling-window
+ *                placement error visible (see docs/sampling.md)
  *
  * Every generator sits behind trace::TraceSource, is deterministic
  * given (spec, count, seed), and is addressed by a parseable spec

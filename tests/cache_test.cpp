@@ -242,6 +242,77 @@ TEST(StackSim, MissRatioErrorZeroForIdenticalTraces)
     EXPECT_EQ(cache::missRatioError(trace, trace, 64, 8), 0.0);
 }
 
+TEST(StackSim, WarmupSuppressesStatsButWarmsTheStacks)
+{
+    // Feed [0,128) twice: once as warm-up, once measured. The warm-up
+    // pass must record nothing, yet leave the stacks hot enough that
+    // the measured pass consists purely of depth-1..N hits.
+    cache::StackSimulator sim(64, 8);
+    sim.setWarmup(true);
+    for (uint64_t a = 0; a < 128; ++a)
+        sim.access(a);
+    EXPECT_EQ(sim.accesses(), 0u);
+    EXPECT_EQ(sim.warmupAccesses(), 128u);
+    EXPECT_EQ(sim.coldMisses(), 0u);
+    sim.setWarmup(false);
+    for (uint64_t a = 0; a < 128; ++a)
+        sim.access(a);
+    EXPECT_EQ(sim.accesses(), 128u);
+    EXPECT_EQ(sim.coldMisses(), 0u);  // the warm-up made them warm
+    EXPECT_DOUBLE_EQ(sim.missRatio(8), 0.0);
+
+    // A cold simulator over the same measured pass misses everything.
+    cache::StackSimulator cold(64, 8);
+    for (uint64_t a = 0; a < 128; ++a)
+        cold.access(a);
+    EXPECT_EQ(cold.coldMisses(), 128u);
+}
+
+TEST(StackSim, MergeEqualsBoundaryResetSinglePass)
+{
+    // merge() of independently simulated windows must equal ONE
+    // simulator run over the concatenated trace with resetStacks() at
+    // the boundary (the reset makes the second window start cold in
+    // both worlds).
+    util::Rng rng(6);
+    std::vector<uint64_t> a(6000), b(4000);
+    for (auto &v : a)
+        v = rng.below(4096);
+    for (auto &v : b)
+        v = rng.below(4096);
+
+    cache::StackSimulator single(64, 8);
+    for (uint64_t v : a)
+        single.access(v);
+    single.resetStacks();
+    for (uint64_t v : b)
+        single.access(v);
+
+    cache::StackSimulator wa(64, 8), wb(64, 8);
+    for (uint64_t v : a)
+        wa.access(v);
+    for (uint64_t v : b)
+        wb.access(v);
+    wa.merge(wb);
+
+    EXPECT_EQ(wa.accesses(), single.accesses());
+    EXPECT_EQ(wa.coldMisses(), single.coldMisses());
+    EXPECT_EQ(wa.distanceHistogram(), single.distanceHistogram());
+    for (uint32_t w = 1; w <= 8; ++w) {
+        EXPECT_EQ(wa.missCount(w), single.missCount(w));
+        EXPECT_DOUBLE_EQ(wa.missRatio(w), single.missRatio(w));
+    }
+}
+
+TEST(StackSim, MergeRejectsMismatchedGeometry)
+{
+    cache::StackSimulator a(64, 8);
+    cache::StackSimulator b(128, 8);
+    cache::StackSimulator c(64, 4);
+    EXPECT_THROW(a.merge(b), util::Error);
+    EXPECT_THROW(a.merge(c), util::Error);
+}
+
 TEST(StackSim, MissRatioErrorDetectsDivergence)
 {
     // A tight loop vs. a random scatter over the same footprint: every

@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end parity test of the sampling study's two backends: build a
+# container with bin2atc, sample it locally with cache_study --sample,
+# then sample the same container through atcserved on loopback — the
+# two JSON reports must agree on every window's payload CRC and on the
+# merged histogram CRC (same records fetched, same statistics merged).
+# Run by ctest as `sample_smoke`.
+#
+# Usage: sample_smoke.sh <dir-with-binaries> <scratch-dir>
+set -e
+
+BIN_DIR="$1"
+WORK_DIR="$2"
+[ -n "$BIN_DIR" ] && [ -n "$WORK_DIR" ] || {
+    echo "usage: $0 <bin-dir> <work-dir>" >&2
+    exit 2
+}
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+cd "$WORK_DIR"
+
+# 65536 random u64 addresses — parity is about bytes, not locality.
+dd if=/dev/urandom of=trace.bin bs=4096 count=128 2>/dev/null
+"$BIN_DIR/bin2atc" tdir c < trace.bin
+
+PLAN='systematic:windows=8,len=1k,warmup=128'
+
+"$BIN_DIR/cache_study" --sample tdir --plan "$PLAN" --sets 64,256 \
+    --reference --json local.json > /dev/null
+grep -q '"atc_sample_study": 1' local.json
+grep -q '"backend": "local"' local.json
+# The sampled estimate of a fully referenced run carries error bounds.
+grep -q '"max_error"' local.json
+
+"$BIN_DIR/atcserved" --port 0 --port-file port.txt demo=tdir &
+SERVER_PID=$!
+trap 'kill $SERVER_PID 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s port.txt ] && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -s port.txt ] || { echo "server never wrote its port" >&2; exit 1; }
+ADDR="127.0.0.1:$(cat port.txt)"
+
+"$BIN_DIR/cache_study" --sample --connect "$ADDR" --name demo \
+    --plan "$PLAN" --sets 64,256 --json served.json > /dev/null
+grep -q '"backend": "served"' served.json
+
+"$BIN_DIR/atcclient" "$ADDR" shutdown
+trap - EXIT
+wait $SERVER_PID # propagates the daemon's exit code; must be 0
+
+# Backend parity: byte-identical window records (per-window CRCs fold
+# into windows_crc) and identical merged histograms (hist_crc).
+for key in windows_crc hist_crc window_crcs; do
+    L=$(grep "\"$key\"" local.json)
+    S=$(grep "\"$key\"" served.json)
+    [ -n "$L" ] || { echo "$key missing from local.json" >&2; exit 1; }
+    [ "$L" = "$S" ] || {
+        echo "backend mismatch on $key:" >&2
+        echo "  local:  $L" >&2
+        echo "  served: $S" >&2
+        exit 1
+    }
+done
+
+echo "sample_smoke: OK"
