@@ -35,6 +35,15 @@ the bench/gates.json manifest (override with --gates). Gate kinds:
     max_ratio  fresh/baseline <= value  (size/latency ceilings)
     max_abs    fresh <= value           (absolute bounds, no baseline)
 
+The manifest may also carry ``speedup_gates``: absolute floors on the
+parallel speedup of one mode at one thread count (e.g.
+``compress_speedup_4t``), applied against the fresh sweep alone — no
+baseline involved. Each gate is guarded on the runner's core count as
+reported by the bench JSON's ``cores`` field: on a machine with fewer
+cores than the gate's ``min_cores`` the gate is reported but not
+enforced (a 1-core container cannot demonstrate a 4-thread speedup,
+and failing there would gate on the runner, not the code).
+
 Usage:
     check_regression.py [bench.json baseline.json]
         [--matrix fresh.json] [--matrix-baseline base.json]
@@ -98,6 +107,30 @@ def load_gates(path):
     if "threshold" in gates and not 0 < gates["threshold"] < 1:
         raise GatesError("threshold must be a fraction in (0, 1)")
 
+    speedups = gates.get("speedup_gates", [])
+    if not isinstance(speedups, list):
+        raise GatesError("speedup_gates must be a list")
+    for gate in speedups:
+        if not isinstance(gate, dict):
+            raise GatesError("speedup_gates entries must be objects")
+        for key in ("name", "mode", "threads", "min_speedup"):
+            if key not in gate:
+                raise GatesError(
+                    "speedup gate missing required key '%s': %r"
+                    % (key, gate))
+        for key in ("name", "mode"):
+            if not isinstance(gate[key], str) or not gate[key]:
+                raise GatesError(
+                    "speedup gate '%s' must be a non-empty string" % key)
+        for key in ("threads", "min_cores"):
+            if key in gate and (not isinstance(gate[key], int)
+                                or gate[key] < 1):
+                raise GatesError(
+                    "speedup gate '%s' must be a positive integer" % key)
+        if (not isinstance(gate["min_speedup"], (int, float))
+                or gate["min_speedup"] <= 0):
+            raise GatesError("speedup gate 'min_speedup' must be positive")
+
     cells = gates.get("matrix_cells", [])
     if not isinstance(cells, list):
         raise GatesError("matrix_cells must be a list")
@@ -124,6 +157,7 @@ def load_gates(path):
     return {
         "gated_modes": modes,
         "matrix_cells": cells,
+        "speedup_gates": speedups,
         "threshold": gates.get("threshold"),
         "obs_overhead_max_pct": gates.get("obs_overhead_max_pct"),
         "sample_decoded_frac_max": gates.get("sample_decoded_frac_max"),
@@ -158,9 +192,60 @@ def max_thread_speedup(results, mode):
     return max(rows, key=lambda r: r["threads"])["speedup"]
 
 
+def find_row(results, mode, threads):
+    for r in results:
+        if r["mode"] == mode and r["threads"] == threads:
+            return r
+    return None
+
+
+def check_speedups(bench, speedup_gates):
+    """Absolute parallel-speedup floors, guarded on runner cores.
+
+    Returns (markdown lines, failure strings). Gates whose min_cores
+    exceeds the bench's reported core count are listed as skipped: a
+    small runner is not evidence of a scaling regression.
+    """
+    lines = []
+    failures = []
+    cores = bench.get("cores", 0)
+    for gate in speedup_gates:
+        name = gate["name"]
+        mode, threads = gate["mode"], gate["threads"]
+        floor = gate["min_speedup"]
+        min_cores = gate.get("min_cores", threads)
+        if cores < min_cores:
+            lines.append(
+                "Speedup gate `%s`: skipped (runner has %s cores, "
+                "gate needs >= %d)." % (name, cores or "unknown",
+                                        min_cores))
+            continue
+        row = find_row(bench.get("results", []), mode, threads)
+        if row is None:
+            failures.append(
+                "%s: no %s row at %d threads in the fresh sweep on a "
+                "%d-core runner (bench crashed or the thread list "
+                "dropped %d?)" % (name, mode, threads, cores, threads))
+            lines.append("Speedup gate `%s`: FAIL (row missing)." % name)
+            continue
+        speedup = row["speedup"]
+        ok = speedup >= floor
+        if not ok:
+            failures.append(
+                "%s: %s speedup %.2fx at %d threads below floor %.2fx "
+                "(%d-core runner)" % (name, mode, speedup, threads,
+                                      floor, cores))
+        lines.append(
+            "Speedup gate `%s`: %s at %d threads is %.2fx (floor "
+            "%.2fx, %d cores) — %s." % (name, mode, threads, speedup,
+                                        floor, cores,
+                                        "ok" if ok else "FAIL"))
+    return lines, failures
+
+
 def check_sweep(bench, baseline, gated_modes, threshold,
                 obs_overhead_max, sample_decoded_frac_max=None,
-                sample_miss_error_max=None):
+                sample_miss_error_max=None, speedup_gates=()):
     """Thread-sweep gate. Returns (markdown lines, failure strings)."""
     if sample_decoded_frac_max is None:
         sample_decoded_frac_max = DEFAULT_SAMPLE_DECODED_FRAC_MAX
@@ -262,6 +347,13 @@ def check_sweep(bench, baseline, gated_modes, threshold,
                         else "n/a (obs off)",
                         sample_decoded_frac_max * 100, err,
                         sample_miss_error_max, row.get("speedup", 0)))
+
+    if speedup_gates:
+        speedup_lines, speedup_failures = check_speedups(bench,
+                                                         speedup_gates)
+        lines.append("")
+        lines.extend(speedup_lines)
+        failures.extend(speedup_failures)
 
     lines.append("")
     if failures:
@@ -437,7 +529,7 @@ def main(argv=None):
             baseline = json.load(f)
         sweep_lines, sweep_failures = check_sweep(
             bench, baseline, gates["gated_modes"], threshold, obs_max,
-            frac_max, err_max)
+            frac_max, err_max, gates["speedup_gates"])
         lines.extend(sweep_lines)
         failures.extend(sweep_failures)
 

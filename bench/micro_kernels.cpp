@@ -1,19 +1,34 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the computational kernels:
- * SA-IS/BWT, MTF, Huffman, bytesort, the cache filter and the stack
- * simulator. These are the knobs behind Table 2's throughput numbers.
+ * Microbenchmarks for the computational kernels: SA-IS/BWT, MTF, RLE,
+ * the byte-plane histograms behind lossy signatures, bytesort, the
+ * cache filter and the stack simulator. These are the knobs behind
+ * Table 2's throughput numbers and the targets of the hot-loop tuning.
+ *
+ * Self-contained: timed with bench_common's bestOfK (steady clock,
+ * best of 3 after an untimed warm-up) and emitted in the shared JSON
+ * shape so the CI perf-trajectory job archives kernel throughput next
+ * to parallel_throughput.json.
+ *
+ * Usage: micro_kernels [json-path]
+ *   json-path  output file (default micro_kernels.json)
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "atc/bytesort.hpp"
-#include "atc/lossless.hpp"
+#include "atc/histogram.hpp"
+#include "atc/lossy.hpp"
+#include "bench_common.hpp"
 #include "cache/filter.hpp"
 #include "cache/stack_sim.hpp"
 #include "compress/bwt.hpp"
-#include "compress/huffman.hpp"
+#include "compress/codec.hpp"
 #include "compress/mtf.hpp"
+#include "compress/rle.hpp"
 #include "compress/stream.hpp"
 #include "util/rng.hpp"
 
@@ -45,208 +60,158 @@ addressLike(size_t n)
     return addrs;
 }
 
-void
-BM_BwtForward(benchmark::State &state)
+struct Row
 {
-    auto data = textLike(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) {
-        auto r = comp::bwtForward(data.data(), data.size());
-        benchmark::DoNotOptimize(r.data.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
-}
-BENCHMARK(BM_BwtForward)->Arg(64 << 10)->Arg(1 << 20);
+    std::string kernel;
+    size_t n;       ///< items processed per run (bytes or addresses)
+    double secs;    ///< best-of-k wall-clock seconds for one run
+    double m_per_s; ///< items per second, in millions
+};
 
+/** Time @p fn (best of 3) over @p n items and record one row. */
+template <typename Fn>
 void
-BM_BwtInverse(benchmark::State &state)
+runKernel(std::vector<Row> &rows, const char *name, size_t n, Fn &&fn)
 {
-    auto data = textLike(static_cast<size_t>(state.range(0)));
-    auto r = comp::bwtForward(data.data(), data.size());
-    for (auto _ : state) {
-        auto inv = comp::bwtInverse(r.data.data(), r.data.size(),
-                                    r.primary);
-        benchmark::DoNotOptimize(inv.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
+    double secs = bench::bestOfK(3, fn);
+    rows.push_back(
+        {name, n, secs, static_cast<double>(n) / secs / 1e6});
+    std::fprintf(stderr, "  %-22s %8.4fs  %9.3f M/s\n", name, secs,
+                 rows.back().m_per_s);
 }
-BENCHMARK(BM_BwtInverse)->Arg(64 << 10)->Arg(1 << 20);
 
-void
-BM_MtfEncode(benchmark::State &state)
-{
-    auto data = textLike(1 << 20);
-    for (auto _ : state) {
-        auto enc = comp::mtfEncode(data.data(), data.size());
-        benchmark::DoNotOptimize(enc.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
-}
-BENCHMARK(BM_MtfEncode);
+} // namespace
 
-void
-BM_BwcCompress(benchmark::State &state)
+int
+main(int argc, char **argv)
 {
-    auto data = textLike(1 << 20);
-    const auto &codec = comp::codecByName("bwc");
-    for (auto _ : state) {
-        auto c = comp::compressAll(codec, data.data(), data.size());
-        benchmark::DoNotOptimize(c.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
-}
-BENCHMARK(BM_BwcCompress);
+    std::string json_path = argc > 1 ? argv[1] : "micro_kernels.json";
 
-void
-BM_BwcDecompress(benchmark::State &state)
-{
-    auto data = textLike(1 << 20);
-    const auto &codec = comp::codecByName("bwc");
-    auto c = comp::compressAll(codec, data.data(), data.size());
-    for (auto _ : state) {
-        auto d = comp::decompressAll(codec, c.data(), c.size());
-        benchmark::DoNotOptimize(d.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
-}
-BENCHMARK(BM_BwcDecompress);
+    const size_t kBytes = bench::scaledLen(1 << 20);
+    const size_t kAddrs = bench::scaledLen(1'000'000);
+    auto text = textLike(kBytes);
+    auto addrs = addressLike(kAddrs);
+    std::fprintf(stderr, "kernels: %zu bytes text, %zu addresses\n",
+                 kBytes, kAddrs);
 
-void
-BM_LzhCompress(benchmark::State &state)
-{
-    auto data = textLike(1 << 20);
-    const auto &codec = comp::codecByName("lzh");
-    for (auto _ : state) {
-        auto c = comp::compressAll(codec, data.data(), data.size());
-        benchmark::DoNotOptimize(c.data());
-    }
-    state.SetBytesProcessed(state.iterations() * data.size());
-}
-BENCHMARK(BM_LzhCompress);
+    std::vector<Row> rows;
 
-void
-BM_BytesortForward(benchmark::State &state)
-{
-    auto addrs = addressLike(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) {
-        auto planes = core::bytesortForward(addrs.data(), addrs.size());
-        benchmark::DoNotOptimize(planes.data());
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_BytesortForward)->Arg(100'000)->Arg(1'000'000);
+    // BWT round trip (SA-IS construction dominates the forward pass).
+    auto bwt = comp::bwtForward(text.data(), text.size());
+    runKernel(rows, "bwt_forward", kBytes, [&] {
+        auto r = comp::bwtForward(text.data(), text.size());
+        if (r.data.size() != text.size())
+            std::abort();
+    });
+    runKernel(rows, "bwt_inverse", kBytes, [&] {
+        auto inv =
+            comp::bwtInverse(bwt.data.data(), bwt.data.size(), bwt.primary);
+        if (inv.size() != text.size())
+            std::abort();
+    });
 
-void
-BM_BytesortInverse(benchmark::State &state)
-{
-    auto addrs = addressLike(static_cast<size_t>(state.range(0)));
+    // MTF + RLE over the BWT output — the shape they see in the codec.
+    auto mtf = comp::mtfEncode(bwt.data.data(), bwt.data.size());
+    runKernel(rows, "mtf_encode", kBytes, [&] {
+        auto enc = comp::mtfEncode(bwt.data.data(), bwt.data.size());
+        if (enc.size() != bwt.data.size())
+            std::abort();
+    });
+    runKernel(rows, "mtf_decode", kBytes, [&] {
+        auto dec = comp::mtfDecode(mtf.data(), mtf.size());
+        if (dec.size() != mtf.size())
+            std::abort();
+    });
+    auto rle = comp::rleEncode(mtf.data(), mtf.size());
+    runKernel(rows, "rle_encode", kBytes, [&] {
+        auto enc = comp::rleEncode(mtf.data(), mtf.size());
+        if (enc.size() != rle.size())
+            std::abort();
+    });
+    runKernel(rows, "rle_decode", kBytes, [&] {
+        auto dec = comp::rleDecode(rle);
+        if (dec.size() != mtf.size())
+            std::abort();
+    });
+
+    // Lossy-path address kernels: the per-interval byte histograms and
+    // the full signature (histograms + per-plane sort).
+    runKernel(rows, "histogram", kAddrs, [&] {
+        auto h = core::computeHistograms(addrs.data(), addrs.size());
+        if (h.len != addrs.size())
+            std::abort();
+    });
+    runKernel(rows, "lossy_signature", kAddrs, [&] {
+        auto sig =
+            core::LossyEncoder::signatureOf(addrs.data(), addrs.size());
+        if (sig.hist.len != addrs.size())
+            std::abort();
+    });
+
+    // Bytesort transform round trip.
     auto planes = core::bytesortForward(addrs.data(), addrs.size());
-    for (auto _ : state) {
+    runKernel(rows, "bytesort_forward", kAddrs, [&] {
+        auto p = core::bytesortForward(addrs.data(), addrs.size());
+        if (p.size() != planes.size())
+            std::abort();
+    });
+    runKernel(rows, "bytesort_inverse", kAddrs, [&] {
         auto back = core::bytesortInverse(planes.data(), addrs.size());
-        benchmark::DoNotOptimize(back.data());
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_BytesortInverse)->Arg(100'000)->Arg(1'000'000);
+        if (back.size() != addrs.size())
+            std::abort();
+    });
 
-std::vector<uint8_t>
-losslessCompressed(const std::vector<uint64_t> &addrs)
-{
-    std::vector<uint8_t> out;
-    util::VectorSink sink(out);
-    core::LosslessParams params;
-    params.buffer_addrs = addrs.size() / 8 + 1;
-    core::LosslessWriter writer(params, sink);
-    writer.write(addrs.data(), addrs.size());
-    writer.finish();
-    return out;
-}
-
-void
-BM_LosslessDecodeSingle(benchmark::State &state)
-{
-    auto addrs = addressLike(1 << 20);
-    auto compressed = losslessCompressed(addrs);
-    core::LosslessParams params;
-    params.buffer_addrs = addrs.size() / 8 + 1;
-    for (auto _ : state) {
-        util::MemorySource src(compressed);
-        core::LosslessReader reader(params, src);
-        uint64_t v, sum = 0;
-        while (reader.decode(&v))
-            sum += v;
-        benchmark::DoNotOptimize(sum);
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_LosslessDecodeSingle);
-
-void
-BM_LosslessDecodeBatch(benchmark::State &state)
-{
-    auto addrs = addressLike(1 << 20);
-    auto compressed = losslessCompressed(addrs);
-    core::LosslessParams params;
-    params.buffer_addrs = addrs.size() / 8 + 1;
-    std::vector<uint64_t> buf(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) {
-        util::MemorySource src(compressed);
-        core::LosslessReader reader(params, src);
-        uint64_t sum = 0;
-        size_t got;
-        while ((got = reader.read(buf.data(), buf.size())) != 0)
-            sum += buf[got - 1];
-        benchmark::DoNotOptimize(sum);
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_LosslessDecodeBatch)->Arg(1 << 10)->Arg(1 << 16);
-
-void
-BM_LosslessEncodeBatch(benchmark::State &state)
-{
-    auto addrs = addressLike(1 << 20);
-    for (auto _ : state) {
-        util::CountingSink sink;
-        core::LosslessParams params;
-        params.buffer_addrs = addrs.size() / 8 + 1;
-        core::LosslessWriter writer(params, sink);
-        writer.write(addrs.data(), addrs.size());
-        writer.finish();
-        benchmark::DoNotOptimize(sink.count());
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_LosslessEncodeBatch);
-
-void
-BM_CacheFilter(benchmark::State &state)
-{
-    auto addrs = addressLike(1 << 20);
-    for (auto _ : state) {
+    // Cache-side kernels.
+    runKernel(rows, "cache_filter", kAddrs, [&] {
         cache::CacheFilter filter;
         uint64_t emitted = 0;
         for (uint64_t a : addrs)
             emitted += filter.access(a, false).has_value();
-        benchmark::DoNotOptimize(emitted);
-    }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
-}
-BENCHMARK(BM_CacheFilter);
-
-void
-BM_StackSimulator(benchmark::State &state)
-{
-    auto addrs = addressLike(1 << 20);
-    for (auto _ : state) {
+        if (emitted == 0)
+            std::abort();
+    });
+    runKernel(rows, "stack_sim", kAddrs, [&] {
         cache::StackSimulator sim(1024, 32);
         for (uint64_t a : addrs)
             sim.access(a >> 6);
-        benchmark::DoNotOptimize(sim.missCount(8));
+        if (sim.missCount(8) == 0)
+            std::abort();
+    });
+
+    // End-to-end codec reference points.
+    const auto &codec = comp::codecByName("bwc");
+    auto compressed = comp::compressAll(codec, text.data(), text.size());
+    runKernel(rows, "bwc_compress", kBytes, [&] {
+        auto c = comp::compressAll(codec, text.data(), text.size());
+        if (c.size() != compressed.size())
+            std::abort();
+    });
+    runKernel(rows, "bwc_decompress", kBytes, [&] {
+        auto d =
+            comp::decompressAll(codec, compressed.data(), compressed.size());
+        if (d.size() != text.size())
+            std::abort();
+    });
+
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
     }
-    state.SetItemsProcessed(state.iterations() * addrs.size());
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"micro_kernels\",\n"
+                 "  \"cores\": %u,\n  \"results\": [\n",
+                 std::thread::hardware_concurrency());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(json,
+                     "    {\"kernel\": \"%s\", \"items\": %zu, "
+                     "\"seconds\": %.5f, \"mitems_per_s\": %.3f}%s\n",
+                     r.kernel.c_str(), r.n, r.secs, r.m_per_s,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
 }
-BENCHMARK(BM_StackSimulator);
-
-} // namespace
-
-BENCHMARK_MAIN();

@@ -644,9 +644,11 @@ main(int argc, char **argv)
                  "{\n  \"benchmark\": \"parallel_throughput\",\n"
                  "  \"corpus\": \"%s\",\n  \"addresses\": %zu,\n"
                  "  \"codec\": \"bwc\",\n  \"container_version\": %d,\n"
+                 "  \"cores\": %u,\n"
                  "  \"results\": [\n",
                  bm.name.c_str(), n,
-                 static_cast<int>(core::kContainerVersion));
+                 static_cast<int>(core::kContainerVersion),
+                 std::thread::hardware_concurrency());
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::fprintf(json,

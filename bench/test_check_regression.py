@@ -215,6 +215,76 @@ class SampleGateTest(unittest.TestCase):
         self.assertIn("sample_study", gates["gated_modes"])
 
 
+class SpeedupGateTest(unittest.TestCase):
+    """Absolute speedup floors, guarded on the runner's core count."""
+
+    GATES = [{"name": "compress_speedup_4t", "mode": "lossless_compress",
+              "threads": 4, "min_speedup": 2.0, "min_cores": 4}]
+
+    @staticmethod
+    def bench(cores, speedup, threads=4):
+        rows = [{"mode": "lossless_compress", "threads": 1,
+                 "seconds": 1.0, "maddrs_per_s": 2.0, "speedup": 1.0},
+                {"mode": "lossless_compress", "threads": threads,
+                 "seconds": 1.0 / speedup,
+                 "maddrs_per_s": 2.0 * speedup, "speedup": speedup}]
+        return {"benchmark": "parallel_throughput",
+                "addresses": 2000000, "cores": cores, "results": rows}
+
+    def test_fast_run_on_big_runner_passes(self):
+        _, failures = cr.check_speedups(self.bench(8, 3.1), self.GATES)
+        self.assertEqual(failures, [])
+
+    def test_flat_curve_on_big_runner_fails(self):
+        _, failures = cr.check_speedups(self.bench(8, 1.04), self.GATES)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("compress_speedup_4t", failures[0])
+
+    def test_small_runner_skips_the_gate(self):
+        # A 1-core container cannot demonstrate a 4-thread speedup;
+        # the gate must report itself skipped, not fail.
+        lines, failures = cr.check_speedups(self.bench(1, 0.9),
+                                            self.GATES)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("skipped" in line for line in lines))
+
+    def test_missing_cores_field_skips_the_gate(self):
+        bench = self.bench(8, 0.9)
+        del bench["cores"]
+        _, failures = cr.check_speedups(bench, self.GATES)
+        self.assertEqual(failures, [])
+
+    def test_missing_gated_row_on_big_runner_fails(self):
+        bench = self.bench(8, 3.0, threads=2)  # no 4-thread row
+        _, failures = cr.check_speedups(bench, self.GATES)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("row", failures[0] + "row")
+
+    def test_check_sweep_threads_gates_through(self):
+        bench = self.bench(8, 1.01)
+        _, failures = cr.check_sweep(bench, bench, [], 0.15, 3.0,
+                                     speedup_gates=self.GATES)
+        self.assertEqual(len(failures), 1)
+
+    def test_loader_validates_speedup_gates(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            good = {"speedup_gates": self.GATES}
+            path = write_json(tmp, "gates.json", good)
+            self.assertEqual(len(cr.load_gates(path)["speedup_gates"]),
+                             1)
+            bad = {"speedup_gates": [{"name": "x", "mode": "m",
+                                      "threads": 4}]}  # no min_speedup
+            path = write_json(tmp, "bad.json", bad)
+            with self.assertRaises(cr.GatesError):
+                cr.load_gates(path)
+
+    def test_committed_gates_carry_speedup_floors(self):
+        gates = cr.load_gates(cr.DEFAULT_GATES)
+        names = {g["name"] for g in gates["speedup_gates"]}
+        self.assertIn("compress_speedup_4t", names)
+        self.assertIn("decompress_speedup_4t", names)
+
+
 class ThresholdPrecedenceTest(unittest.TestCase):
     def test_cli_beats_env_beats_gates_beats_default(self):
         env = "ATC_BENCH_REGRESSION_THRESHOLD"

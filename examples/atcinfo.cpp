@@ -5,15 +5,22 @@
  * The chunk suffix is auto-detected; pass it explicitly only when
  * several containers share one directory.
  *
- * Usage: atcinfo [--frames] [--metrics] <dirname> [suffix]
+ * Usage: atcinfo [--frames] [--metrics] [--io mmap|stdio] <dirname>
+ *        [suffix]
  *   --frames  also print each chunk's v3 frame index: frame count and
  *             compressed/decompressed extents, straight from the
  *             AtcIndex scan (no payload is decoded). v1/v2 containers
  *             carry no frame index and report so.
- *   --metrics after the probe, print the full obs registry snapshot
- *             in the shared atc_metrics text encoding (cache.*, io.*,
- *             codec.* — whatever the scan exercised; see
- *             docs/metrics.md) instead of the one-line cache summary.
+ *   --metrics after the probe, print the active io source mode and the
+ *             full obs registry snapshot in the shared atc_metrics
+ *             text encoding (cache.*, io.* — including the zero-copy
+ *             counters io.mmap_opens/io.view_bytes —, codec.*;
+ *             see docs/metrics.md) instead of the one-line cache
+ *             summary.
+ *   --io {mmap,stdio}
+ *             chunk-file read path for the scan and probe: mmap
+ *             (default) decodes borrowed mapped bytes, stdio forces
+ *             the buffered-read fallback.
  */
 
 #include <algorithm>
@@ -27,6 +34,7 @@
 #include "atc/atc.hpp"
 #include "atc/index.hpp"
 #include "obs/metrics.hpp"
+#include "util/mmap.hpp"
 
 int
 main(int argc, char **argv)
@@ -37,20 +45,28 @@ main(int argc, char **argv)
     bool metrics = false;
     std::string dir;
     std::string suffix;
+    bool bad_args = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--frames") == 0)
+        if (std::strcmp(argv[i], "--frames") == 0) {
             frames = true;
-        else if (std::strcmp(argv[i], "--metrics") == 0)
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
             metrics = true;
-        else if (dir.empty())
+        } else if (std::strcmp(argv[i], "--io") == 0) {
+            util::IoMode io;
+            if (i + 1 >= argc || !util::parseIoMode(argv[++i], io))
+                bad_args = true;
+            else
+                util::setDefaultIoMode(io);
+        } else if (dir.empty()) {
             dir = argv[i];
-        else
+        } else {
             suffix = argv[i];
+        }
     }
-    if (dir.empty()) {
+    if (dir.empty() || bad_args) {
         std::fprintf(stderr,
-                     "usage: %s [--frames] [--metrics] <dirname> "
-                     "[suffix]\n",
+                     "usage: %s [--frames] [--metrics] "
+                     "[--io mmap|stdio] <dirname> [suffix]\n",
                      argv[0]);
         return 2;
     }
@@ -142,6 +158,8 @@ main(int argc, char **argv)
         // encoding (the same bytes the serve METRICS op returns);
         // otherwise just the one-line cache summary.
         if (metrics) {
+            std::printf("io mode:    %s\n",
+                        util::ioModeName(util::defaultIoMode()));
             std::printf("metrics:\n%s",
                         obs::snapshotToText(
                             obs::Registry::global().snapshot())

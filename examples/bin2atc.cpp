@@ -21,6 +21,11 @@
  *   c           lossless compression
  *   k           lossy compression (default, as in the paper's example)
  *   codec-spec  registry spec, e.g. bwc, lzh, bwc:block=900k
+ *   --io {mmap,stdio}
+ *               how the container's chunk files are read back (e.g.
+ *               by the lossy writer's decision probes): mmap maps
+ *               regular files and decodes borrowed bytes zero-copy
+ *               (default), stdio forces the buffered-read path
  *   --metrics-json PATH
  *               after closing the container, dump the obs registry
  *               snapshot (pipeline stage timings, I/O and pool
@@ -39,6 +44,7 @@
 #include "atc/atc.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_atc.hpp"
+#include "util/mmap.hpp"
 
 namespace {
 
@@ -47,7 +53,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [-j N] [--container-version V] "
-                 "[--block BYTES] [--buffer ADDRS] "
+                 "[--block BYTES] [--buffer ADDRS] [--io mmap|stdio] "
                  "[--metrics-json PATH] <dirname> [c|k] [codec-spec]\n",
                  argv0);
     return 2;
@@ -124,6 +130,11 @@ main(int argc, char **argv)
             container_version = std::strtol(argv[++i], &end, 10);
             if (end == argv[i] || *end != '\0')
                 return usage(argv[0]);
+        } else if (std::strcmp(argv[i], "--io") == 0) {
+            util::IoMode io;
+            if (i + 1 >= argc || !util::parseIoMode(argv[++i], io))
+                return usage(argv[0]);
+            util::setDefaultIoMode(io);
         } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
             if (!parseThreads(argc, argv, i, threads))
                 return usage(argv[0]);

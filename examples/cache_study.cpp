@@ -19,7 +19,8 @@
  *
  *        cache_study --sample DIR [--plan SPEC] [--sets 64,256]
  *                    [--ways N] [--block-shift N] [--threads N]
- *                    [--fetch range|seek] [--reference] [--json PATH]
+ *                    [--fetch range|seek] [--io mmap|stdio]
+ *                    [--reference] [--json PATH]
  *        cache_study --sample --connect HOST:PORT --name NAME ...
  *
  *    `--sample DIR --connect ... --name ...` uses the daemon for the
@@ -45,6 +46,7 @@
 #include "study/sample_study.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/suite.hpp"
+#include "util/mmap.hpp"
 
 namespace {
 
@@ -184,6 +186,11 @@ parseSampleArgs(int argc, char **argv)
         } else if (a == "--depth") {
             args.opt.pipeline_depth =
                 std::strtoul(next().c_str(), nullptr, 10);
+        } else if (a == "--io") {
+            util::IoMode io;
+            if (!util::parseIoMode(next(), io))
+                die("--io wants mmap or stdio");
+            util::setDefaultIoMode(io);
         } else if (a == "--fetch") {
             std::string mode = next();
             if (mode == "range")

@@ -9,8 +9,9 @@ namespace atc::core {
 namespace fs = std::filesystem;
 
 DirectoryStore::DirectoryStore(const std::string &dir,
-                               const std::string &suffix)
-    : dir_(dir), suffix_(suffix)
+                               const std::string &suffix,
+                               util::IoMode io)
+    : dir_(dir), suffix_(suffix), io_(io)
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
@@ -49,7 +50,7 @@ DirectoryStore::openChunk(uint32_t id)
                        " (truncated or partially written container?)");
     ATC_CHECK(size > 0, "chunk file " + path +
                             " is empty (truncated container?)");
-    return std::make_unique<util::FileSource>(path);
+    return util::openFileSource(path, io_);
 }
 
 std::unique_ptr<util::ByteSink>
@@ -61,7 +62,7 @@ DirectoryStore::createInfo()
 std::unique_ptr<util::ByteSource>
 DirectoryStore::openInfo()
 {
-    return std::make_unique<util::FileSource>(infoPath());
+    return util::openFileSource(infoPath(), io_);
 }
 
 uint64_t

@@ -11,12 +11,31 @@ namespace atc::core {
 IntervalHistograms
 computeHistograms(const uint64_t *addrs, size_t n)
 {
+    // Two accumulator sets, merged at the end: consecutive addresses
+    // sharing byte values serialize on the same counter slot (a
+    // store-to-load forwarding chain); splitting even/odd addresses
+    // across disjoint tables keeps two independent increment chains in
+    // flight. ~24 KiB of tables stays L1-resident.
     IntervalHistograms out;
     out.len = n;
-    for (size_t i = 0; i < n; ++i) {
+    std::array<ByteHistogram, 8> alt{};
+    size_t i = 0;
+    for (; i + 1 < n; i += 2) {
+        uint64_t a = addrs[i];
+        uint64_t b = addrs[i + 1];
+        for (int j = 0; j < 8; ++j) {
+            out.h[j][(a >> (8 * j)) & 0xFF]++;
+            alt[j][(b >> (8 * j)) & 0xFF]++;
+        }
+    }
+    if (i < n) {
         uint64_t a = addrs[i];
         for (int j = 0; j < 8; ++j)
             out.h[j][(a >> (8 * j)) & 0xFF]++;
+    }
+    for (int j = 0; j < 8; ++j) {
+        for (int v = 0; v < 256; ++v)
+            out.h[j][v] += alt[j][v];
     }
     return out;
 }

@@ -546,17 +546,20 @@ AtcCursor::decodeFrames(size_t first, size_t last)
                 blocks[f - first] = std::move(hit);
                 continue;
             }
-            std::vector<uint8_t> comp;
-            comp::readIndexedFramePayload(*src, layout, f, comp);
+            // Zero-copy on mapped chunks: the payload borrows the
+            // mapping (pinned by the FramePayload's keepalive), so the
+            // pooled task decodes straight off the page cache.
+            comp::FramePayload payload =
+                comp::fetchIndexedFramePayload(*src, layout, f);
             size_t raw_size =
                 static_cast<size_t>(layout.frames[f].raw_size);
             pending.push_back(
                 {f - first, key,
                  pool_->async([codec, raw_size,
-                               comp = std::move(comp)]() {
+                               payload = std::move(payload)]() {
                      std::vector<uint8_t> block;
-                     comp::decodeSeekableFrame(*codec, comp.data(),
-                                               comp.size(), raw_size,
+                     comp::decodeSeekableFrame(*codec, payload.data,
+                                               payload.size, raw_size,
                                                block);
                      return block;
                  })});

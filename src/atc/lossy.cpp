@@ -102,15 +102,38 @@ LossyEncoder::emitChunk(const IntervalSignature &sig)
     }
 }
 
+IntervalSignature
+LossyEncoder::signatureOf(const uint64_t *addrs, size_t n)
+{
+    obs::StageTimer sig_t(lossyMetrics().signature_us);
+    return IntervalSignature::from(computeHistograms(addrs, n));
+}
+
+void
+LossyEncoder::writeInterval(std::vector<uint64_t> payload,
+                            const IntervalSignature &sig)
+{
+    ATC_ASSERT(!finished_);
+    ATC_CHECK(buffer_.empty(),
+              "writeInterval cannot mix with buffered write() input");
+    ATC_CHECK(!payload.empty() &&
+                  payload.size() <= params_.interval_len,
+              "writeInterval payload must be 1..interval_len addresses");
+    stats_.addresses += payload.size();
+    buffer_ = std::move(payload);
+    applyInterval(sig);
+}
+
 void
 LossyEncoder::processInterval()
 {
+    applyInterval(signatureOf(buffer_.data(), buffer_.size()));
+}
+
+void
+LossyEncoder::applyInterval(const IntervalSignature &sig)
+{
     LossyMetrics &m = lossyMetrics();
-    obs::StageTimer sig_t(m.signature_us);
-    IntervalSignature sig =
-        IntervalSignature::from(computeHistograms(buffer_.data(),
-                                                  buffer_.size()));
-    sig_t.stop();
 
     // Only full intervals may imitate: a shorter final interval has a
     // different temporal extent and is always stored exactly.

@@ -108,6 +108,28 @@ class LossyEncoder
     /** Feed one address. */
     void code(uint64_t addr) { write(&addr, 1); }
 
+    /**
+     * The signature stage of processing an interval, exposed so the
+     * parallel writer can run it on pool workers: pure and
+     * order-independent (histograms of the payload only), while the
+     * decision stage below stays order-dependent (it walks the chunk
+     * table). Timed under lossy.signature_us wherever it runs.
+     */
+    static IntervalSignature signatureOf(const uint64_t *addrs, size_t n);
+
+    /**
+     * Feed one whole interval whose signature was already computed
+     * (via signatureOf) — the order-preserving reassembly entry the
+     * parallel writer drains pooled signatures into, in submission
+     * order. Byte-identical to write()-ing the same addresses: the
+     * decision, records, and chunk emission follow the same code path.
+     * Only the final interval before finish() may be shorter than
+     * interval_len, and calls must not be mixed with buffered write()
+     * leftovers (an unaligned mix would change interval boundaries).
+     */
+    void writeInterval(std::vector<uint64_t> payload,
+                       const IntervalSignature &sig);
+
     /** Flush the final (possibly partial) interval. */
     void finish();
 
@@ -119,6 +141,7 @@ class LossyEncoder
 
   private:
     void processInterval();
+    void applyInterval(const IntervalSignature &sig);
     void emitChunk(const IntervalSignature &sig);
 
     struct TableEntry

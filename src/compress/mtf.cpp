@@ -1,5 +1,7 @@
 #include "compress/mtf.hpp"
 
+#include <cstring>
+
 namespace atc::comp {
 
 MtfCoder::MtfCoder()
@@ -17,18 +19,15 @@ MtfCoder::reset()
 uint8_t
 MtfCoder::encode(uint8_t value)
 {
-    // Find the rank of value, shifting everything in front of it down.
-    uint8_t prev = order_[0];
-    if (prev == value)
+    if (order_[0] == value)
         return 0;
-    int rank = 1;
-    for (;; ++rank) {
-        uint8_t cur = order_[rank];
-        order_[rank] = prev;
-        prev = cur;
-        if (cur == value)
-            break;
-    }
+    // Locate the rank with a vectorized scan, then shift the prefix
+    // down in one memmove — the table always contains all 256 values,
+    // so the search cannot miss.
+    const uint8_t *pos = static_cast<const uint8_t *>(
+        std::memchr(order_, value, sizeof(order_)));
+    size_t rank = static_cast<size_t>(pos - order_);
+    std::memmove(order_ + 1, order_, rank);
     order_[0] = value;
     return static_cast<uint8_t>(rank);
 }
@@ -37,8 +36,7 @@ uint8_t
 MtfCoder::decode(uint8_t rank)
 {
     uint8_t value = order_[rank];
-    for (int i = rank; i > 0; --i)
-        order_[i] = order_[i - 1];
+    std::memmove(order_ + 1, order_, rank);
     order_[0] = value;
     return value;
 }

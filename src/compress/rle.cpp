@@ -1,5 +1,7 @@
 #include "compress/rle.hpp"
 
+#include <cstring>
+
 #include "util/status.hpp"
 
 namespace atc::comp {
@@ -30,14 +32,29 @@ rleEncode(const uint8_t *data, size_t n)
     std::vector<uint16_t> out;
     out.reserve(n / 2 + 16);
     uint64_t run = 0;
-    for (size_t i = 0; i < n; ++i) {
+    size_t i = 0;
+    while (i < n) {
         if (data[i] == 0) {
-            ++run;
+            // MTF output is dominated by zero runs; skip over them a
+            // word at a time before falling back to the byte tail.
+            size_t start = i;
+            ++i;
+            while (i + 8 <= n) {
+                uint64_t w;
+                std::memcpy(&w, data + i, 8);
+                if (w != 0)
+                    break;
+                i += 8;
+            }
+            while (i < n && data[i] == 0)
+                ++i;
+            run += i - start;
             continue;
         }
         emitRun(run, out);
         run = 0;
         out.push_back(static_cast<uint16_t>(data[i]) + 1);
+        ++i;
     }
     emitRun(run, out);
     out.push_back(kEob);
@@ -55,8 +72,7 @@ rleDecode(const std::vector<uint16_t> &symbols)
     bool saw_eob = false;
 
     auto flush_run = [&]() {
-        for (uint64_t i = 0; i < run; ++i)
-            out.push_back(0);
+        out.insert(out.end(), run, 0);
         run = 0;
         weight = 1;
         in_run = false;

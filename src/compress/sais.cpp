@@ -13,7 +13,7 @@ namespace {
  * other slots -1), derive the order of all L-type then S-type suffixes.
  */
 void
-induce(const std::vector<int32_t> &t, const std::vector<bool> &is_s,
+induce(const std::vector<int32_t> &t, const std::vector<uint8_t> &is_s,
        const std::vector<int32_t> &cnt, std::vector<int32_t> &bkt,
        int32_t k, std::vector<int32_t> &sa)
 {
@@ -61,9 +61,12 @@ saisCore(const std::vector<int32_t> &t, int32_t k, std::vector<int32_t> &sa)
         return;
     }
 
-    // Classify positions: S-type iff suffix i < suffix i+1.
-    std::vector<bool> is_s(m, false);
-    is_s[m - 1] = true;
+    // Classify positions: S-type iff suffix i < suffix i+1. A byte
+    // vector, not vector<bool> — the type flags are read in the two
+    // inner induce() loops, where the bit-extraction ALU work and the
+    // proxy objects cost more than the 8x memory.
+    std::vector<uint8_t> is_s(m, 0);
+    is_s[m - 1] = 1;
     for (int32_t i = m - 2; i >= 0; --i)
         is_s[i] = t[i] < t[i + 1] || (t[i] == t[i + 1] && is_s[i + 1]);
 

@@ -245,29 +245,63 @@ scanSeekableStream(util::ByteSource &src, bool crc_trailer)
     return layout;
 }
 
+namespace {
+
+/**
+ * Read frame @p f's header and validate it against the scanned layout
+ * — the shared front half of the indexed-frame fetches.
+ */
 void
-readIndexedFramePayload(util::ByteSource &src, const StreamLayout &layout,
-                        size_t f, std::vector<uint8_t> &comp)
+checkIndexedFrameHeader(util::ByteSource &src, const StreamLayout &layout,
+                        size_t f, FrameIndexEntry &entry)
 {
     ATC_ASSERT(f < layout.frames.size());
-    FrameIndexEntry entry;
     FrameScan scan = readSeekableFrameHeader(src, entry);
     ATC_CHECK(scan == FrameScan::Frame &&
                   entry.raw_size == layout.frames[f].raw_size &&
                   entry.comp_size == layout.frames[f].comp_size,
               "frame header disagrees with the scanned index "
               "(container modified while indexed?)");
+}
+
+} // namespace
+
+void
+readIndexedFramePayload(util::ByteSource &src, const StreamLayout &layout,
+                        size_t f, std::vector<uint8_t> &comp)
+{
+    FrameIndexEntry entry;
+    checkIndexedFrameHeader(src, layout, f, entry);
     comp.resize(static_cast<size_t>(entry.comp_size));
     src.readExact(comp.data(), comp.size());
+}
+
+FramePayload
+fetchIndexedFramePayload(util::ByteSource &src, const StreamLayout &layout,
+                         size_t f)
+{
+    FrameIndexEntry entry;
+    checkIndexedFrameHeader(src, layout, f, entry);
+    FramePayload p;
+    p.size = static_cast<size_t>(entry.comp_size);
+    if (const uint8_t *span = src.view(p.size)) {
+        p.data = span;
+        p.keepalive = src.viewKeepalive();
+    } else {
+        p.owned.resize(p.size);
+        src.readExact(p.owned.data(), p.size);
+        p.data = p.owned.data();
+    }
+    return p;
 }
 
 std::vector<uint8_t>
 decodeIndexedFrame(const Codec &codec, util::ByteSource &src,
                    const StreamLayout &layout, size_t f)
 {
-    std::vector<uint8_t> comp, out;
-    readIndexedFramePayload(src, layout, f, comp);
-    decodeSeekableFrame(codec, comp.data(), comp.size(),
+    std::vector<uint8_t> out;
+    FramePayload p = fetchIndexedFramePayload(src, layout, f);
+    decodeSeekableFrame(codec, p.data, p.size,
                         static_cast<size_t>(layout.frames[f].raw_size),
                         out);
     return out;
@@ -373,10 +407,18 @@ StreamDecompressor::refillSeekable()
         break;
     }
 
-    comp_buf_.resize(static_cast<size_t>(entry.comp_size));
-    src_.readExact(comp_buf_.data(), comp_buf_.size());
-    decodeSeekableFrame(codec_, comp_buf_.data(), comp_buf_.size(),
-                        static_cast<size_t>(entry.raw_size), block_);
+    size_t comp_size = static_cast<size_t>(entry.comp_size);
+    if (const uint8_t *span = src_.view(comp_size)) {
+        // Zero-copy: decode straight from the source's storage (mmap
+        // page cache or a memory chunk); the source outlives this call.
+        decodeSeekableFrame(codec_, span, comp_size,
+                            static_cast<size_t>(entry.raw_size), block_);
+    } else {
+        comp_buf_.resize(comp_size);
+        src_.readExact(comp_buf_.data(), comp_buf_.size());
+        decodeSeekableFrame(codec_, comp_buf_.data(), comp_buf_.size(),
+                            static_cast<size_t>(entry.raw_size), block_);
+    }
     seen_.push_back(entry);
     crc_.update(block_.data(), block_.size());
     pos_ = 0;

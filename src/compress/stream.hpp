@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "compress/codec.hpp"
@@ -161,6 +162,34 @@ StreamLayout scanSeekableStream(util::ByteSource &src, bool crc_trailer);
 void readIndexedFramePayload(util::ByteSource &src,
                              const StreamLayout &layout, size_t f,
                              std::vector<uint8_t> &comp);
+
+/**
+ * One frame's compressed payload, zero-copy when the source can serve
+ * it. `data` either borrows the source's backing storage (mmap or
+ * memory — `owned` stays empty, `keepalive` pins a mapping) or points
+ * into `owned` after a copy through read(). Movable: moving relocates
+ * the vector header, not its heap block, so `data` stays valid —
+ * pooled decode tasks capture a FramePayload by value.
+ */
+struct FramePayload
+{
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+    std::vector<uint8_t> owned;
+    std::shared_ptr<const void> keepalive;
+};
+
+/**
+ * readIndexedFramePayload without the copy when @p src supports
+ * view(): validates the header identically, then borrows the payload
+ * span in place (falling back to an owned read). The fetch used by the
+ * pooled decoders — the cursor's frame pipeline and the parallel
+ * scanner — so mapped containers decode straight off the page cache.
+ * @throws util::Error on truncation or any header/layout disagreement
+ */
+FramePayload fetchIndexedFramePayload(util::ByteSource &src,
+                                      const StreamLayout &layout,
+                                      size_t f);
 
 /**
  * Read and decode frame @p f of a scanned Seekable stream in one step

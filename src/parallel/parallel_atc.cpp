@@ -137,8 +137,56 @@ ParallelAtcWriter::write(const uint64_t *vals, size_t n)
     if (transform_)
         transform_->write(vals, n);
     else
-        lossy_->write(vals, n);
+        writeLossy(vals, n);
     count_ += n;
+}
+
+void
+ParallelAtcWriter::writeLossy(const uint64_t *vals, size_t n)
+{
+    size_t interval = static_cast<size_t>(options_.lossy.interval_len);
+    while (n > 0) {
+        size_t room = interval - interval_buf_.size();
+        size_t take = n < room ? n : room;
+        interval_buf_.insert(interval_buf_.end(), vals, vals + take);
+        vals += take;
+        n -= take;
+        if (interval_buf_.size() == interval)
+            dispatchInterval();
+    }
+}
+
+void
+ParallelAtcWriter::dispatchInterval()
+{
+    auto payload = std::make_shared<std::vector<uint64_t>>(
+        std::move(interval_buf_));
+    interval_buf_ = std::vector<uint64_t>();
+    interval_buf_.reserve(
+        static_cast<size_t>(options_.lossy.interval_len));
+
+    PendingInterval pending;
+    pending.payload = payload;
+    pending.sig = pool_.async([payload]() {
+        return core::LossyEncoder::signatureOf(payload->data(),
+                                               payload->size());
+    });
+    pending_sigs_.push_back(std::move(pending));
+    drainSignatures(lookahead_);
+}
+
+void
+ParallelAtcWriter::drainSignatures(size_t keep)
+{
+    while (pending_sigs_.size() > keep) {
+        PendingInterval &front = pending_sigs_.front();
+        core::IntervalSignature sig = front.sig.get();
+        // The pooled task is resolved, so this thread owns the payload
+        // again; writeInterval runs the serial decision stage and may
+        // emit a chunk through dispatchChunk.
+        lossy_->writeInterval(std::move(*front.payload), sig);
+        pending_sigs_.pop_front();
+    }
 }
 
 void
@@ -254,6 +302,12 @@ ParallelAtcWriter::close()
                                  options_.mode, options_.pipeline,
                                  count_, nullptr, 0, nullptr);
     } else {
+        // The trailing partial interval (if any) goes through the same
+        // pooled-signature path; draining in order first keeps the
+        // record sequence identical to the serial encoder's.
+        if (!interval_buf_.empty())
+            dispatchInterval();
+        drainSignatures(0);
         lossy_->finish();
         drainChunks(0);
         core::writeContainerInfo(*store_, codec_,
@@ -453,18 +507,24 @@ ParallelAtcReader::scanFrames()
                     return; // consumer abandoned the stream
                 continue;
             }
-            std::vector<uint8_t> comp_bytes;
-            comp::readIndexedFramePayload(*src, layout, f, comp_bytes);
+            // Zero-copy on mapped chunks: the payload borrows the
+            // mapping, which the FramePayload's keepalive pins past
+            // this scanner's source (the futures outlive it, crossing
+            // the channel to the consumer thread). Memory-store
+            // payloads borrow the store, which the documented reader
+            // contract keeps alive and immutable.
+            comp::FramePayload payload =
+                comp::fetchIndexedFramePayload(*src, layout, f);
 
             std::shared_ptr<const comp::Codec> c = index_->codec().codec;
             size_t raw_size =
                 static_cast<size_t>(layout.frames[f].raw_size);
             auto decoded =
                 pool_->async([c, raw_size,
-                              comp_bytes = std::move(comp_bytes)]() {
+                              payload = std::move(payload)]() {
                     std::vector<uint8_t> raw;
-                    comp::decodeSeekableFrame(*c, comp_bytes.data(),
-                                              comp_bytes.size(),
+                    comp::decodeSeekableFrame(*c, payload.data,
+                                              payload.size,
                                               raw_size, raw);
                     return raw;
                 });

@@ -134,6 +134,9 @@ class ParallelAtcWriter : public trace::TraceSink
     void dispatchChunk(uint32_t id, std::vector<uint64_t> payload);
     void drainBlocks(size_t keep);
     void drainChunks(size_t keep);
+    void writeLossy(const uint64_t *vals, size_t n);
+    void dispatchInterval();
+    void drainSignatures(size_t keep);
 
     std::unique_ptr<core::ChunkStore> owned_store_;
     core::ChunkStore *store_;
@@ -159,9 +162,22 @@ class ParallelAtcWriter : public trace::TraceSink
     std::deque<std::future<EncodedFrame>> pending_blocks_;
     std::vector<comp::FrameIndexEntry> frame_index_;
 
-    // Lossy mode: decisions on the caller thread, chunk compression in
-    // the pool, chunk files written in id order.
+    // Lossy mode: the caller thread slices input into interval-sized
+    // payloads and pools the signature computation (pure, per-payload);
+    // signatures drain in submission order into the encoder's
+    // order-dependent decision stage (writeInterval), so records and
+    // chunks come out byte-identical to the serial path. Chunk
+    // compression pools through the ChunkFn seam as before. Tasks own
+    // their payload via shared_ptr, so an abandoned writer (queue
+    // outliving the deque) never leaves a worker on freed memory.
+    struct PendingInterval
+    {
+        std::shared_ptr<std::vector<uint64_t>> payload;
+        std::future<core::IntervalSignature> sig;
+    };
     std::unique_ptr<core::LossyEncoder> lossy_;
+    std::vector<uint64_t> interval_buf_;
+    std::deque<PendingInterval> pending_sigs_;
     std::deque<std::pair<uint32_t, std::future<std::vector<uint8_t>>>>
         pending_chunks_;
 };

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,32 @@ class ByteSource
      * lets an index scan walk frame headers without touching payloads.
      */
     virtual void skip(uint64_t n);
+
+    /**
+     * Zero-copy fast path: borrow the next @p n bytes in place and
+     * advance past them, or return nullptr when the source cannot
+     * serve a contiguous borrowed span (the stdio default) — callers
+     * then fall back to readExact() into their own buffer. A non-null
+     * span stays valid for the lifetime of the backing storage (see
+     * viewKeepalive()), not just until the next read.
+     */
+    virtual const uint8_t *view(size_t n)
+    {
+        (void)n;
+        return nullptr;
+    }
+
+    /**
+     * Ownership token pinning the storage behind view() spans. Holders
+     * that outlive this source (pooled decode tasks) must retain it;
+     * nullptr means the spans borrow storage this source never owned
+     * (MemorySource) and the caller's existing lifetime contract
+     * applies.
+     */
+    virtual std::shared_ptr<const void> viewKeepalive() const
+    {
+        return nullptr;
+    }
 };
 
 /** Sink that appends to an in-memory vector. */
@@ -121,6 +148,16 @@ class MemorySource : public ByteSource
         if (n > size_ - pos_)
             raise("byte source truncated");
         pos_ += static_cast<size_t>(n);
+    }
+
+    const uint8_t *
+    view(size_t n) override
+    {
+        if (n > size_ - pos_)
+            return nullptr;
+        const uint8_t *p = data_ + pos_;
+        pos_ += n;
+        return p;
     }
 
     /** @return bytes not yet consumed. */

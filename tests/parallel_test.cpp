@@ -19,9 +19,11 @@
 #include <gtest/gtest.h>
 
 #include "atc/atc.hpp"
+#include "cache/filter.hpp"
 #include "parallel/channel.hpp"
 #include "parallel/parallel_atc.hpp"
 #include "parallel/thread_pool.hpp"
+#include "trace/pipeline.hpp"
 #include "util/rng.hpp"
 
 namespace atc {
@@ -774,6 +776,140 @@ TEST(ParallelAtc, DirectoryContainerInterchangeable)
     EXPECT_EQ(a, b);
     EXPECT_EQ(a.size(), addrs.size());
     fs::remove_all(dir);
+}
+
+// --------------------------------------------------- sharded cache filter
+
+/** Byte addresses spread across many sets, with reuse for hits. */
+std::vector<uint64_t>
+filterTrace(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<uint64_t> addrs;
+    addrs.reserve(n);
+    uint64_t base = 0x2000'0000;
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.below(64) == 0)
+            base = 0x2000'0000 + (rng.below(32) << 20);
+        // Mix of strides and revisits so every set sees hits, misses
+        // and evictions.
+        addrs.push_back(base + rng.below(1 << 16));
+    }
+    return addrs;
+}
+
+std::vector<uint64_t>
+runFilter(const std::vector<uint64_t> &addrs, size_t threads,
+          size_t batch, cache::CacheStats *icache = nullptr,
+          cache::CacheStats *dcache = nullptr)
+{
+    std::vector<uint64_t> misses;
+    trace::VectorTraceSink sink(misses);
+    cache::FilterStage stage(sink);
+    parallel::ThreadPool pool(threads);
+    if (threads > 1) {
+        stage.shard(pool);
+        EXPECT_GT(stage.shardCount(), 1u);
+    }
+    size_t pos = 0;
+    while (pos < addrs.size()) {
+        size_t take = std::min(batch, addrs.size() - pos);
+        stage.write(addrs.data() + pos, take);
+        pos += take;
+    }
+    stage.close();
+    if (icache != nullptr)
+        *icache = stage.icacheStats();
+    if (dcache != nullptr)
+        *dcache = stage.dcacheStats();
+    return misses;
+}
+
+TEST_P(ThreadSweep, ShardedFilterEmitsIdenticalMissStream)
+{
+    // Batches above the fan-out floor: the sharded path really runs.
+    auto addrs = filterTrace(100'000, 31);
+    cache::CacheStats serial_d, sharded_d;
+    auto serial = runFilter(addrs, 1, 50'000, nullptr, &serial_d);
+    auto sharded =
+        runFilter(addrs, GetParam(), 50'000, nullptr, &sharded_d);
+    EXPECT_EQ(serial, sharded);
+    EXPECT_EQ(serial_d.accesses, sharded_d.accesses);
+    EXPECT_EQ(serial_d.misses, sharded_d.misses);
+    ASSERT_GT(serial.size(), 0u);
+}
+
+TEST_P(ThreadSweep, ShardedFilterSmallBatchesStayIdentical)
+{
+    // Below the fan-out floor the replicas run inline — the verdicts
+    // must still match the serial filter exactly.
+    auto addrs = filterTrace(20'000, 32);
+    auto serial = runFilter(addrs, 1, 777);
+    auto sharded = runFilter(addrs, GetParam(), 777);
+    EXPECT_EQ(serial, sharded);
+}
+
+TEST(ShardedFilter, RefusesNonDecomposableConfigs)
+{
+    std::vector<uint64_t> misses;
+    trace::VectorTraceSink sink(misses);
+    parallel::ThreadPool pool(4);
+
+    // An L2 uses a different set mask: shard() must stay serial.
+    cache::CacheConfig l1 = cache::CacheConfig::paperL1();
+    cache::CacheConfig l2 = l1;
+    l2.sets = l1.sets * 8;
+    cache::FilterStage with_l2(sink, l1, l2);
+    with_l2.shard(pool);
+    EXPECT_EQ(with_l2.shardCount(), 0u);
+
+    // RANDOM replacement draws from one RNG stream shared across sets.
+    cache::CacheConfig rnd = l1;
+    rnd.policy = cache::ReplPolicy::RANDOM;
+    cache::FilterStage with_rnd(sink, rnd);
+    with_rnd.shard(pool);
+    EXPECT_EQ(with_rnd.shardCount(), 0u);
+
+    // Both still filter correctly in serial mode.
+    auto addrs = filterTrace(10'000, 33);
+    with_l2.write(addrs.data(), addrs.size());
+    with_rnd.write(addrs.data(), addrs.size());
+    EXPECT_GT(misses.size(), 0u);
+}
+
+// ---------------------------------------------------- pooled lossy encode
+
+TEST_P(ThreadSweep, PooledLossySurvivesOddIntervalSlicing)
+{
+    // interval_len deliberately coprime to every batch size the
+    // parallel writer sees, so dispatch boundaries never align with
+    // write() calls; the container must stay byte-identical.
+    auto addrs = makeTrace(70'000, 23);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    opt.lossy.interval_len = 9973;
+    opt.lossy.epsilon = 0.05; // mix of emitted chunks and imitations
+    auto serial = writeSerial(addrs, opt);
+    auto par = writeParallel(addrs, opt, GetParam());
+    expectStoresIdentical(serial, par);
+}
+
+TEST_P(ThreadSweep, AbandonedLossyWriterDestructsCleanly)
+{
+    // Destroy a writer mid-stream with signature work still queued:
+    // the pool tasks share ownership of their payloads, so teardown
+    // must neither crash nor deadlock (TSan-checked in CI).
+    auto addrs = makeTrace(40'000, 24);
+    auto opt = makeOptions(core::Mode::Lossy, addrs.size());
+    opt.lossy.interval_len = 1013;
+    core::MemoryStore store;
+    parallel::ParallelOptions popt;
+    popt.threads = GetParam();
+    {
+        parallel::ParallelAtcWriter writer(store, opt, popt);
+        writer.write(addrs.data(), addrs.size());
+        // no close(): abandoned
+    }
+    SUCCEED();
 }
 
 } // namespace
